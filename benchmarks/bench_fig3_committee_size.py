@@ -1,0 +1,47 @@
+"""E1 — Figure 3: committee size sufficient for 5e-9 safety, vs h.
+
+Paper: the curve falls steeply from h=76% toward h=90%; at h=80% the
+implementation picks tau_step = 2000 with T_step = 0.685 (the starred
+point). Our solver recomputes the curve from the Poisson tail bounds.
+"""
+
+from __future__ import annotations
+
+from conftest import print_table
+
+from repro.analysis.committee import committee_size_for, figure3_curve
+from repro.experiments.metrics import format_table
+
+HONEST_FRACTIONS = [0.78, 0.80, 0.84, 0.88]
+
+
+def _compute_curve():
+    return figure3_curve(HONEST_FRACTIONS)
+
+
+def test_figure3_committee_size(benchmark):
+    points = benchmark.pedantic(_compute_curve, rounds=1, iterations=1)
+
+    rows = [[f"{p.honest_fraction:.0%}", p.committee_size,
+             f"{p.threshold:.3f}"] for p in points]
+    print_table("Figure 3: committee size vs honest fraction (eps=5e-9)",
+                format_table(["h", "tau", "T"], rows))
+
+    # Shape: monotone decreasing, steep near 2/3 (the h=78% committee is
+    # several times the h=88% one).
+    sizes = [p.committee_size for p in points]
+    assert sizes == sorted(sizes, reverse=True)
+    assert sizes[0] > 3.0 * sizes[-1]
+    assert sizes[0] > 1.3 * sizes[1]
+
+    # The paper's starred point: tau ~ 2000 at h = 80%.
+    at_80 = dict(zip(HONEST_FRACTIONS, points))[0.80]
+    assert 1800 <= at_80.committee_size <= 2200
+    assert abs(at_80.threshold - 0.685) < 0.03
+
+
+def test_figure3_solver_single_point(benchmark):
+    """Wall-clock cost of solving one curve point (the inner loop)."""
+    tau, threshold = benchmark(committee_size_for, 0.85)
+    assert 800 <= tau <= 1400
+    assert 2 / 3 < threshold < 0.85

@@ -1,0 +1,42 @@
+"""E2 — Figure 5: round latency with a growing user population.
+
+Paper: 5,000-50,000 users, 1 MB blocks; latency stays well under a
+minute and is near-constant in the number of users (committee costs
+depend on tau, not N). We sweep a ~100x-scaled population with the
+committee parameters held fixed and assert the same flatness.
+"""
+
+from __future__ import annotations
+
+from conftest import print_table
+
+from repro.experiments.latency import figure5, flatness
+from repro.experiments.metrics import format_table
+
+USERS = [30, 60, 120, 240]
+
+
+def _run():
+    return figure5(USERS, seed=100, payload_bytes=40_000)
+
+
+def test_figure5_latency_vs_users(benchmark):
+    points = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    rows = [[p.num_users] + list(p.summary.row().values())
+            + [p.final_rounds, p.empty_rounds] for p in points]
+    print_table(
+        "Figure 5: round latency (simulated seconds) vs #users",
+        format_table(["users", "min", "p25", "median", "p75", "max",
+                      "final", "empty"], rows))
+
+    # Liveness: every population agrees on a real (non-empty) block and
+    # completes in simulated seconds well under the paper's minute.
+    for point in points:
+        assert point.summary.maximum < 60.0
+        assert point.empty_rounds == 0
+        assert point.final_rounds == point.num_users
+
+    # The headline claim: near-constant latency as users grow (the paper's
+    # curve moves by well under 2x over a 10x population range).
+    assert flatness(points) < 2.0

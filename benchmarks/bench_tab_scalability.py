@@ -1,0 +1,84 @@
+"""E12 — Section 8.4 scalability claims + section 7 step counts.
+
+Two analytic tables the paper's scaling story rests on:
+
+* the gossip graph (4 chosen peers, ~8 neighbors) forms one giant
+  connected component whose diameter — and hence dissemination time —
+  grows only logarithmically in the number of users;
+* BA* needs 4 interactive steps in the common case and an expected 13
+  against the worst-case adversary, with MaxSteps = 150 making the
+  residual tail negligible.
+"""
+
+from __future__ import annotations
+
+from conftest import print_table
+
+from repro.analysis.graph import diameter_scaling, expected_dissemination_hops
+from repro.analysis.steps import (
+    COMMON_CASE_STEPS,
+    expected_total_steps_worst_case,
+    max_steps_for_failure_probability,
+    probability_exceeds_max_steps,
+)
+from repro.experiments.metrics import format_table
+
+SIZES = [50, 200, 800, 3200]
+
+
+def test_gossip_graph_scaling(benchmark):
+    reports = benchmark.pedantic(
+        lambda: diameter_scaling(SIZES, seed=3), rounds=1, iterations=1)
+
+    rows = [[r.num_nodes, f"{r.giant_component_fraction:.3f}",
+             r.diameter, f"{r.average_degree:.1f}"] for r in reports]
+    print_table(
+        "Section 8.4: gossip topology vs network size",
+        format_table(["users", "giant component", "diameter",
+                      "avg degree"], rows))
+
+    # One giant component containing (essentially) everyone.
+    assert all(r.giant_component_fraction > 0.99 for r in reports)
+    # Logarithmic diameter: 64x the users, only a few more hops.
+    diameters = [r.diameter for r in reports]
+    assert diameters[-1] <= diameters[0] + 4
+    # ~8 neighbors from 4 chosen peers (section 9).
+    assert all(7.0 < r.average_degree < 8.5 for r in reports)
+
+
+def test_step_count_analysis(benchmark):
+    def run():
+        return {
+            "common": COMMON_CASE_STEPS,
+            "worst": expected_total_steps_worst_case(),
+            "tail_150": probability_exceeds_max_steps(150, 0.80),
+            "needed": max_steps_for_failure_probability(1e-11, 0.80),
+        }
+
+    derived = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        ["common case (honest proposer)", f"{derived['common']} steps",
+         "paper: 'precisely 4 interactive steps'"],
+        ["worst case expectation", f"{derived['worst']:.0f} steps",
+         "paper: 'expected 13 steps'"],
+        ["P[attack outlasts MaxSteps=150]", f"{derived['tail_150']:.1e}",
+         "negligible"],
+        ["MaxSteps for 1e-11 tail", str(derived["needed"]),
+         "Figure 4 picks 150"],
+    ]
+    print_table("Section 7: BA* interactive step counts",
+                format_table(["quantity", "value", "check"], rows))
+
+    assert derived["common"] == 4
+    assert abs(derived["worst"] - 13.0) < 0.1
+    assert derived["tail_150"] < 1e-11
+    assert derived["needed"] == 150
+
+
+def test_dissemination_hops(benchmark):
+    hops = benchmark.pedantic(
+        lambda: expected_dissemination_hops(1600, seed=5),
+        rounds=1, iterations=1)
+    print_table("Section 8.4: mean gossip hops at 1600 users",
+                f"{hops:.2f} hops (x per-hop latency = dissemination time)")
+    assert hops < 6.0

@@ -1,0 +1,70 @@
+"""E5 — Section 10.2 throughput table: Algorand vs Bitcoin.
+
+Paper numbers: Bitcoin commits ~6 MB/hour (1 MB block / 10 min); Algorand
+commits 327 MB/hour at 2 MB blocks and ~750 MB/hour at 10 MB blocks —
+125x Bitcoin. Absolute numbers here are scaled (smaller blocks, smaller
+network), so the assertions target the *relative* structure: Algorand
+beats the Bitcoin baseline by orders of magnitude at equal block sizes,
+and the paper's own constants project to ~125x.
+"""
+
+from __future__ import annotations
+
+from conftest import print_table
+
+from repro.baselines.nakamoto import (
+    NakamotoConfig,
+    NakamotoSimulator,
+    throughput_bytes_per_hour,
+)
+from repro.experiments.metrics import format_table
+from repro.experiments.throughput import (
+    figure7,
+    paper_scale_projection,
+    throughput_table,
+)
+
+import numpy as np
+
+
+def _run():
+    points = figure7([50_000, 200_000], seed=400, num_users=30)
+    return throughput_table(points, pipeline_final_step=False)
+
+
+def test_throughput_vs_bitcoin(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    table = [[r.system, r.block_size, f"{r.round_time:.1f}",
+              f"{r.bytes_per_hour / 1e6:.1f} MB/h",
+              f"{r.ratio_vs_bitcoin:.1f}x"] for r in rows]
+    print_table("Section 10.2: committed bytes per hour",
+                format_table(["system", "block B", "round s",
+                              "throughput", "vs bitcoin"], table))
+
+    bitcoin = rows[0]
+    algorand = rows[1:]
+    # Bitcoin baseline: ~6 MB/hour.
+    assert 5.5e6 < bitcoin.bytes_per_hour <= 6.0e6
+    # Algorand's round time is seconds, not minutes: even with blocks 5x
+    # smaller than Bitcoin's, it sustains a higher committed-byte rate.
+    for row in algorand:
+        assert row.round_time < 60
+        assert row.ratio_vs_bitcoin > 1.0
+    # Larger blocks amortize BA*: throughput grows with block size.
+    assert algorand[-1].bytes_per_hour > algorand[0].bytes_per_hour
+
+    # Paper-scale projection from the paper's constants lands at ~125x.
+    projected = paper_scale_projection()
+    assert 100 < projected / throughput_bytes_per_hour(NakamotoConfig()) < 160
+
+
+def test_bitcoin_baseline_monte_carlo(benchmark):
+    """The Nakamoto baseline itself: simulated vs analytic throughput."""
+    result = benchmark.pedantic(
+        lambda: NakamotoSimulator().run(3000, np.random.default_rng(5)),
+        rounds=1, iterations=1)
+    analytic = throughput_bytes_per_hour(NakamotoConfig())
+    assert abs(result.throughput_bytes_per_hour - analytic) < 0.15 * analytic
+    # Confirmation latency ~1 hour — the pain Algorand removes.
+    assert 3000 < result.mean_confirmation_latency < 4400

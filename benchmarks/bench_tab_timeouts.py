@@ -1,0 +1,52 @@
+"""E8 — Section 10.5: validating the timeout parameters.
+
+Paper: BA* steps complete well under lambda_step (20 s); the 25th-75th
+percentile spread of BA* completion is under lambda_stepvar (5 s); blocks
+gossip within lambda_block (1 min); priority messages propagate in ~1 s,
+well under lambda_priority (5 s).
+"""
+
+from __future__ import annotations
+
+from conftest import print_table
+
+from repro.experiments.metrics import format_table
+from repro.experiments.timeouts import measure_priority_gossip, measure_timeouts
+
+
+def _run():
+    return measure_timeouts(40, rounds=3, seed=800)
+
+
+def test_timeout_parameters(benchmark):
+    report = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    rows = [
+        ["BA* step p99", f"{report.step_p99:.2f} s",
+         f"lambda_step = {report.lambda_step:.0f} s",
+         "OK" if report.steps_within_budget else "VIOLATED"],
+        ["BA* completion IQR", f"{report.ba_iqr:.2f} s",
+         f"lambda_stepvar = {report.lambda_stepvar:.0f} s",
+         "OK" if report.variance_within_budget else "VIOLATED"],
+        ["block obtained p99", f"{report.proposal_p99:.2f} s",
+         f"budget = {report.lambda_block_budget:.0f} s",
+         "OK" if report.proposals_within_budget else "VIOLATED"],
+    ]
+    print_table("Section 10.5: measured timings vs configured budgets",
+                format_table(["quantity", "measured", "budget", "verdict"],
+                             rows))
+
+    assert report.steps_within_budget
+    assert report.variance_within_budget
+    assert report.proposals_within_budget
+
+
+def test_priority_gossip_time(benchmark):
+    """Priority/proof messages (200 B) flood the network in ~1 s."""
+    seconds = benchmark.pedantic(
+        lambda: measure_priority_gossip(60, seed=801),
+        rounds=1, iterations=1)
+    print_table("Section 10.5: priority message propagation",
+                f"200 B to all of 60 users: {seconds:.2f} s "
+                f"(lambda_priority budget: 5 s)")
+    assert seconds < 5.0

@@ -1,0 +1,16 @@
+"""Benchmark-suite configuration.
+
+Every benchmark reproduces one table or figure from the paper's
+evaluation (section 10) or analysis (Figure 3). The simulations are
+discrete-event runs, so the *benchmark timing* is the wall-clock cost of
+reproducing the experiment; the *reproduced numbers* (simulated seconds,
+bytes, ratios) are printed to stdout — run with ``-s`` to see the tables
+— and asserted against the paper's qualitative shape.
+"""
+
+from __future__ import annotations
+
+
+def print_table(title: str, text: str) -> None:
+    print(f"\n=== {title} ===")
+    print(text)

@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The execution environment has no network access and no ``wheel`` package,
+so PEP 517 editable installs (``pip install -e .``) cannot build a wheel.
+This shim lets ``python setup.py develop`` perform the editable install
+using only the locally available setuptools. Package metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,38 @@
+"""repro — a reproduction of Algorand (SOSP 2017) in Python.
+
+The package implements the paper's full stack:
+
+* :mod:`repro.crypto` — Ed25519 + ECVRF (and a fast simulation backend);
+* :mod:`repro.sortition` — cryptographic sortition and the seed schedule;
+* :mod:`repro.ledger` — transactions, accounts, blocks, chains, storage;
+* :mod:`repro.baplus` — the BA* Byzantine agreement protocol;
+* :mod:`repro.node` — the user agent: proposal, rounds, recovery, catch-up;
+* :mod:`repro.network` / :mod:`repro.sim` — the simulated WAN substrate;
+* :mod:`repro.adversary` — Byzantine strategies and network control;
+* :mod:`repro.baselines` — the Bitcoin/Nakamoto comparison baseline;
+* :mod:`repro.analysis` — committee sizing (Figure 3, Appendix B);
+* :mod:`repro.experiments` — runners for every figure/table in section 10.
+
+Quickstart::
+
+    from repro import Simulation, SimulationConfig
+
+    sim = Simulation(SimulationConfig(num_users=20, seed=1))
+    sim.submit_payments(50)
+    sim.run_rounds(3)
+    assert sim.all_chains_equal()
+"""
+
+from repro.common.params import PAPER_PARAMS, TEST_PARAMS, ProtocolParams
+from repro.experiments.harness import Simulation, SimulationConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Simulation",
+    "SimulationConfig",
+    "ProtocolParams",
+    "PAPER_PARAMS",
+    "TEST_PARAMS",
+    "__version__",
+]

@@ -1,0 +1,25 @@
+"""Adversary models: Byzantine node strategies and network control."""
+
+from repro.adversary.network_control import (
+    FilterChain,
+    Partitioner,
+    TargetedDoS,
+    isolate,
+)
+from repro.adversary.strategies import (
+    DoubleVotingNode,
+    EquivocatingProposerNode,
+    MaliciousNode,
+    SilentNode,
+)
+
+__all__ = [
+    "EquivocatingProposerNode",
+    "DoubleVotingNode",
+    "MaliciousNode",
+    "SilentNode",
+    "FilterChain",
+    "Partitioner",
+    "TargetedDoS",
+    "isolate",
+]

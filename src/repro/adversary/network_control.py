@@ -1,0 +1,147 @@
+"""Adversarial network control: partitions and targeted DoS.
+
+Both are built from the gossip layer's single ``drop_filter`` hook, which
+is exactly the power the paper grants the adversary in its weak-synchrony
+model (full control of the links for a bounded period).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.network.gossip import GossipNetwork
+from repro.network.message import Envelope
+
+
+class FilterChain:
+    """Composes several drop predicates into one ``drop_filter``."""
+
+    def __init__(self, network: GossipNetwork) -> None:
+        self.network = network
+        self._filters: list = []
+        network.drop_filter = self._evaluate
+
+    def add(self, predicate) -> None:
+        self._filters.append(predicate)
+
+    def remove(self, predicate) -> None:
+        self._filters.remove(predicate)
+
+    def _evaluate(self, src: int, dst: int, envelope: Envelope) -> bool:
+        return any(predicate(src, dst, envelope)
+                   for predicate in self._filters)
+
+
+class Partitioner:
+    """Splits the network into groups for a time window.
+
+    Messages crossing group boundaries are dropped while active. This is
+    the adversary of the weak-synchrony assumption: after ``heal()`` (or
+    the scheduled end time) the network is strongly synchronous again.
+    """
+
+    def __init__(self, chain: FilterChain, groups: list[set[int]]) -> None:
+        self._chain = chain
+        self._groups = groups
+        self._active = False
+
+    def _group_of(self, node: int) -> int:
+        for index, group in enumerate(self._groups):
+            if node in group:
+                return index
+        return -1
+
+    def _drop(self, src: int, dst: int, envelope: Envelope) -> bool:
+        return self._active and self._group_of(src) != self._group_of(dst)
+
+    def activate(self) -> None:
+        if not self._active:
+            self._active = True
+            self._chain.add(self._drop)
+
+    def heal(self) -> None:
+        if self._active:
+            self._active = False
+            self._chain.remove(self._drop)
+
+    def schedule(self, env, start: float, end: float) -> None:
+        """Partition during ``[start, end)`` simulated seconds."""
+        if end <= start:
+            raise ValueError("partition must end after it starts")
+        env.schedule(start, self.activate)
+        env.schedule(end, self.heal)
+
+
+class TargetedDoS:
+    """Disconnects any node shortly after it reveals itself as a proposer.
+
+    Models the attack of section 8.4: the adversary watches for priority
+    announcements and knocks the announcer offline after ``reaction_time``
+    seconds. Algorand's defense is that by then the block (or at least
+    the announcement) is already propagating and the proposer's job is
+    done — committee members for later steps are fresh, unexposed users.
+    """
+
+    def __init__(self, chain: FilterChain, env,
+                 reaction_time: float = 1.0,
+                 restore_after: float | None = None,
+                 max_concurrent: int = 2) -> None:
+        if reaction_time < 0:
+            raise ValueError("reaction_time must be >= 0")
+        if max_concurrent < 1:
+            raise ValueError("max_concurrent must be >= 1")
+        self._chain = chain
+        self._env = env
+        self.reaction_time = reaction_time
+        self.restore_after = restore_after
+        #: Adversary capacity: how many victims it can keep offline at
+        #: once. The paper's model allows *targeted* attacks, not mass
+        #: disconnection — honest stake must stay over the threshold.
+        self.max_concurrent = max_concurrent
+        self.victims: list[int] = []
+        self._attacked: set[int] = set()
+        self._active = 0
+        chain.add(self._watch)
+
+    def _watch(self, src: int, dst: int, envelope: Envelope) -> bool:
+        if envelope.kind == "priority":
+            origin = self._origin_index(envelope)
+            if origin is not None and origin not in self._attacked:
+                self._attacked.add(origin)
+                self._env.schedule(self.reaction_time,
+                                   lambda o=origin: self._strike(o))
+        return False  # observing only; never drops by itself
+
+    def _origin_index(self, envelope: Envelope) -> int | None:
+        payload = envelope.payload
+        proposer = getattr(payload, "proposer", None)
+        if proposer is None:
+            return None
+        for index, iface in enumerate(self._chain.network.interfaces):
+            node = getattr(iface, "relay_policy", None)
+            owner = getattr(node, "__self__", None)
+            if owner is not None and owner.keypair.public == proposer:
+                return index
+        return None
+
+    def _strike(self, victim: int) -> None:
+        if self._active >= self.max_concurrent:
+            self._attacked.discard(victim)  # may retry later
+            return
+        self._active += 1
+        self.victims.append(victim)
+        iface = self._chain.network.interfaces[victim]
+        iface.disconnected = True
+        if self.restore_after is not None:
+            self._env.schedule(self.restore_after,
+                               lambda: self._release(iface))
+
+    def _release(self, iface) -> None:
+        iface.disconnected = False
+        self._active -= 1
+
+
+def isolate(network: GossipNetwork, nodes: Iterable[int]) -> None:
+    """Permanently disconnect ``nodes`` (eclipse/DoS of specific users)."""
+    for index in nodes:
+        network.interfaces[index].disconnected = True

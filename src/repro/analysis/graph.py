@@ -1,0 +1,105 @@
+"""Gossip-graph connectivity analysis (section 8.4 "Scalability").
+
+The paper argues its gossip fabric scales because (a) the random peer
+graph has one giant connected component containing almost all users, and
+(b) dissemination time grows with that component's diameter, which is
+logarithmic in the number of users [45]; the few users that land outside
+the giant component recover when peers reshuffle next round [22].
+
+These claims are measurable properties of the generated topology; this
+module measures them with :mod:`networkx` on graphs built by the same
+peer-selection rule as :class:`repro.network.gossip.GossipNetwork`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+import numpy as np
+
+
+def build_gossip_graph(num_nodes: int, peers_per_node: int,
+                       rng: np.random.Generator) -> nx.Graph:
+    """The gossip topology: each node picks ``peers_per_node`` random
+    outgoing peers; edges are undirected (same rule as the simulator)."""
+    if num_nodes < 2:
+        raise ValueError("need at least 2 nodes")
+    graph = nx.Graph()
+    graph.add_nodes_from(range(num_nodes))
+    k = min(peers_per_node, num_nodes - 1)
+    for node in range(num_nodes):
+        peers = rng.choice(num_nodes - 1, size=k, replace=False)
+        for peer in peers:
+            target = int(peer) + (1 if peer >= node else 0)
+            graph.add_edge(node, target)
+    return graph
+
+
+@dataclass(frozen=True)
+class TopologyReport:
+    """Connectivity metrics of one generated gossip graph."""
+
+    num_nodes: int
+    peers_per_node: int
+    giant_component_fraction: float
+    diameter: int            # of the giant component
+    average_degree: float
+    isolated_nodes: int
+
+    @property
+    def fully_connected(self) -> bool:
+        return self.giant_component_fraction == 1.0
+
+
+def analyze_topology(num_nodes: int, peers_per_node: int = 4,
+                     seed: int = 0) -> TopologyReport:
+    """Measure the section 8.4 claims for one graph instance."""
+    rng = np.random.default_rng(seed)
+    graph = build_gossip_graph(num_nodes, peers_per_node, rng)
+    components = sorted(nx.connected_components(graph), key=len,
+                        reverse=True)
+    giant = graph.subgraph(components[0])
+    return TopologyReport(
+        num_nodes=num_nodes,
+        peers_per_node=peers_per_node,
+        giant_component_fraction=len(giant) / num_nodes,
+        diameter=nx.diameter(giant),
+        average_degree=2 * graph.number_of_edges() / num_nodes,
+        isolated_nodes=sum(1 for _, degree in graph.degree()
+                           if degree == 0),
+    )
+
+
+def diameter_scaling(sizes: list[int] | None = None,
+                     peers_per_node: int = 4,
+                     seed: int = 0) -> list[TopologyReport]:
+    """Diameter vs network size — the logarithmic-growth claim [45]."""
+    if sizes is None:
+        sizes = [50, 200, 800, 3200]
+    return [analyze_topology(n, peers_per_node, seed=seed + i)
+            for i, n in enumerate(sizes)]
+
+
+def expected_dissemination_hops(num_nodes: int, peers_per_node: int = 4,
+                                seed: int = 0,
+                                samples: int = 20) -> float:
+    """Mean shortest-path length from random sources — gossip hop count.
+
+    Dissemination latency is (hops x per-hop latency); this is the hops
+    factor the paper's flat-latency scaling relies on.
+    """
+    rng = np.random.default_rng(seed)
+    graph = build_gossip_graph(num_nodes, peers_per_node, rng)
+    giant = graph.subgraph(
+        max(nx.connected_components(graph), key=len))
+    nodes = list(giant.nodes)
+    sources = rng.choice(len(nodes), size=min(samples, len(nodes)),
+                         replace=False)
+    total, count = 0.0, 0
+    for source_index in sources:
+        lengths = nx.single_source_shortest_path_length(
+            giant, nodes[int(source_index)])
+        total += sum(lengths.values())
+        count += len(lengths)
+    return total / count

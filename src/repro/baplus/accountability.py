@@ -1,0 +1,119 @@
+"""Misbehavior detection ("detect and punish", paper section 2).
+
+The paper notes that "Algorand may be extended to 'detect and punish'
+malicious users, but this is not required to prevent forks or double
+spending." This module implements the detection half: because every BA*
+vote and every block proposal is signed, two conflicting signed
+statements from one key are *self-certifying evidence* of Byzantine
+behavior that any user can verify offline and, in a deployment with
+slashing, submit for punishment.
+
+Two evidence types:
+
+* :class:`DoubleVoteEvidence` — two valid votes by the same key for the
+  same ``(round, step)`` with different values (the Figure 8 committee
+  attack produces these in volume);
+* :class:`EquivocationEvidence` — two different blocks proposed by the
+  same key for the same round (the Figure 8 proposer attack).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.baplus.buffer import VoteBuffer
+from repro.baplus.messages import VoteMessage
+from repro.crypto.backend import CryptoBackend
+from repro.ledger.block import Block
+
+
+@dataclass(frozen=True)
+class DoubleVoteEvidence:
+    """Two conflicting signed votes from one committee member."""
+
+    offender: bytes
+    round_number: int
+    step: str
+    first: VoteMessage
+    second: VoteMessage
+
+    def verify(self, backend: CryptoBackend) -> bool:
+        """Anyone can check the evidence without trusting the reporter."""
+        return (
+            self.first.voter == self.second.voter == self.offender
+            and self.first.round_number == self.second.round_number
+            == self.round_number
+            and self.first.step == self.second.step == self.step
+            and self.first.value != self.second.value
+            and self.first.verify_signature(backend)
+            and self.second.verify_signature(backend)
+        )
+
+
+@dataclass(frozen=True)
+class EquivocationEvidence:
+    """Two different blocks from one proposer for one round."""
+
+    offender: bytes
+    round_number: int
+    first_hash: bytes
+    second_hash: bytes
+
+    @property
+    def conflicting(self) -> bool:
+        return self.first_hash != self.second_hash
+
+
+def find_double_votes(votes: Iterable[VoteMessage],
+                      backend: CryptoBackend) -> list[DoubleVoteEvidence]:
+    """Scan signed votes for conflicting pairs (one report per offender
+    per (round, step))."""
+    seen: dict[tuple[bytes, int, str], VoteMessage] = {}
+    evidence: list[DoubleVoteEvidence] = []
+    reported: set[tuple[bytes, int, str]] = set()
+    for vote in votes:
+        if not vote.verify_signature(backend):
+            continue  # unsigned claims prove nothing
+        key = (vote.voter, vote.round_number, vote.step)
+        previous = seen.get(key)
+        if previous is None:
+            seen[key] = vote
+            continue
+        if previous.value != vote.value and key not in reported:
+            reported.add(key)
+            evidence.append(DoubleVoteEvidence(
+                offender=vote.voter, round_number=vote.round_number,
+                step=vote.step, first=previous, second=vote))
+    return evidence
+
+
+def scan_buffer(buffer: VoteBuffer, round_number: int, steps: Iterable[str],
+                backend: CryptoBackend) -> list[DoubleVoteEvidence]:
+    """Scan one round's buckets of a node's vote buffer."""
+    evidence: list[DoubleVoteEvidence] = []
+    for step in steps:
+        evidence.extend(find_double_votes(
+            buffer.messages(round_number, step), backend))
+    return evidence
+
+
+def find_equivocations(blocks: Iterable[Block]) -> list[EquivocationEvidence]:
+    """Scan proposed blocks for proposers announcing two versions."""
+    first_seen: dict[tuple[bytes, int], bytes] = {}
+    evidence: list[EquivocationEvidence] = []
+    reported: set[tuple[bytes, int]] = set()
+    for block in blocks:
+        if block.proposer is None:
+            continue
+        key = (block.proposer, block.round_number)
+        previous = first_seen.get(key)
+        if previous is None:
+            first_seen[key] = block.block_hash
+            continue
+        if previous != block.block_hash and key not in reported:
+            reported.add(key)
+            evidence.append(EquivocationEvidence(
+                offender=block.proposer, round_number=block.round_number,
+                first_hash=previous, second_hash=block.block_hash))
+    return evidence

@@ -1,0 +1,53 @@
+"""Incoming-vote buffer (the ``incomingMsgs`` of Algorithm 5).
+
+A background handler stores every received vote indexed by
+``(round, step)``; :func:`repro.baplus.voting.count_votes` iterates a
+bucket while concurrently waiting for more messages via the bucket's
+signal. Buckets are kept until explicitly pruned so that certificates can
+be assembled from past steps and passive observers can recount votes.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.baplus.messages import VoteMessage
+from repro.sim.loop import Environment, Signal
+
+_Key = tuple[int, str]
+
+
+class VoteBuffer:
+    """Votes indexed by ``(round, step)`` plus arrival signals."""
+
+    def __init__(self, env: Environment) -> None:
+        self._env = env
+        self._buckets: dict[_Key, list[VoteMessage]] = defaultdict(list)
+        self._signals: dict[_Key, Signal] = {}
+
+    def add(self, vote: VoteMessage) -> None:
+        key = (vote.round_number, vote.step)
+        self._buckets[key].append(vote)
+        signal = self._signals.get(key)
+        if signal is not None:
+            signal.pulse()
+
+    def messages(self, round_number: int, step: str) -> list[VoteMessage]:
+        """The current bucket (live list — callers index, don't mutate)."""
+        return self._buckets[(round_number, step)]
+
+    def signal(self, round_number: int, step: str) -> Signal:
+        key = (round_number, step)
+        if key not in self._signals:
+            self._signals[key] = Signal(self._env)
+        return self._signals[key]
+
+    def rounds_buffered(self) -> set[int]:
+        return {round_number for round_number, _ in self._buckets}
+
+    def prune_before(self, round_number: int) -> None:
+        """Drop buckets for rounds strictly below ``round_number``."""
+        stale = [key for key in self._buckets if key[0] < round_number]
+        for key in stale:
+            del self._buckets[key]
+            self._signals.pop(key, None)

@@ -1,0 +1,42 @@
+"""The BA* context (the ``ctx`` of Algorithms 3-9).
+
+Captures the state of the ledger that one BA* execution runs against: the
+sortition seed for this round, the weight table (public key -> currency),
+the total weight ``W``, and the hash of the last agreed block. The context
+is immutable for the duration of one round's agreement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Mapping
+
+from repro.common.errors import SortitionError
+
+
+@dataclass(frozen=True)
+class BAContext:
+    """Ledger snapshot that one round of BA* is bound to."""
+
+    seed: bytes
+    weights: Mapping[bytes, int]
+    total_weight: int
+    last_block_hash: bytes
+
+    def __post_init__(self) -> None:
+        if self.total_weight <= 0:
+            raise SortitionError("total weight must be positive")
+        # Freeze the mapping so a shared dict cannot drift mid-round.
+        object.__setattr__(self, "weights",
+                           MappingProxyType(dict(self.weights)))
+
+    def weight_of(self, public: bytes) -> int:
+        return self.weights.get(public, 0)
+
+    @classmethod
+    def from_weights(cls, seed: bytes, weights: Mapping[bytes, int],
+                     last_block_hash: bytes) -> "BAContext":
+        return cls(seed=seed, weights=weights,
+                   total_weight=sum(weights.values()),
+                   last_block_hash=last_block_hash)

@@ -1,0 +1,58 @@
+"""BA* vote messages (Algorithm 4).
+
+A committee member's vote is a signed tuple
+``(round, step, sorthash, pi, H(last_block), value)`` together with the
+voter's public key. The sortition hash/proof establishes committee
+membership and vote multiplicity; the previous-block hash binds the vote
+to one chain (votes from other forks are discarded, section 8.2); the
+value is the block hash being voted for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.encoding import encode
+from repro.crypto.backend import CryptoBackend
+
+
+@dataclass(frozen=True)
+class VoteMessage:
+    """One committee member's vote for ``value`` at ``(round, step)``."""
+
+    voter: bytes
+    round_number: int
+    step: str
+    sorthash: bytes
+    sortproof: bytes
+    prev_hash: bytes
+    value: bytes
+    signature: bytes = field(default=b"", compare=False)
+
+    def signing_payload(self) -> bytes:
+        return encode([
+            "vote", self.round_number, self.step, self.sorthash,
+            self.sortproof, self.prev_hash, self.value,
+        ])
+
+    def verify_signature(self, backend: CryptoBackend) -> bool:
+        return backend.is_valid_signature(
+            self.voter, self.signing_payload(), self.signature)
+
+
+def make_vote(backend: CryptoBackend, secret: bytes, voter: bytes,
+              round_number: int, step: str, sorthash: bytes,
+              sortproof: bytes, prev_hash: bytes,
+              value: bytes) -> VoteMessage:
+    """Build and sign a vote."""
+    unsigned = VoteMessage(
+        voter=voter, round_number=round_number, step=step,
+        sorthash=sorthash, sortproof=sortproof, prev_hash=prev_hash,
+        value=value,
+    )
+    signature = backend.sign(secret, unsigned.signing_payload())
+    return VoteMessage(
+        voter=voter, round_number=round_number, step=step,
+        sorthash=sorthash, sortproof=sortproof, prev_hash=prev_hash,
+        value=value, signature=signature,
+    )

@@ -1,0 +1,194 @@
+"""BA* main procedures: Reduction, BinaryBA*, and BA* (Algorithms 3, 7, 8).
+
+All three are simulation generators driven with ``yield from`` inside a
+node's round process. They follow the paper's pseudocode step for step,
+including the subtle liveness/safety devices:
+
+* every ``return`` in BinaryBA* is paired with a timeout check that sets
+  the *next-step* vote to the value being returned, so users that already
+  finished still steer stragglers (section 7.4, "safety with strong
+  synchrony");
+* a user that reaches consensus votes in the next three steps with the
+  consensus value, so remaining users can still cross the threshold;
+* step 1 consensus additionally triggers a ``final``-committee vote, which
+  BA* counts to distinguish final from tentative consensus;
+* every third step uses the common coin instead of a deterministic
+  fallback, defeating the adversary's vote-withholding split attack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baplus.context import BAContext
+from repro.baplus.voting import (
+    BAParticipant,
+    TIMEOUT,
+    committee_vote,
+    common_coin,
+    count_votes,
+)
+from repro.common.errors import ConsensusHalted
+from repro.ledger.block import empty_block_hash
+from repro.sortition.roles import FINAL_STEP, REDUCTION_ONE, REDUCTION_TWO
+
+#: Outcome kinds (section 4): FINAL excludes any other agreed block this
+#: round; TENTATIVE may coexist with other tentative blocks on forks.
+FINAL = "final"
+TENTATIVE = "tentative"
+
+
+@dataclass(frozen=True)
+class AgreementResult:
+    """What one node's BA* execution concluded for a round."""
+
+    kind: str
+    block_hash: bytes
+    deciding_step: str
+    steps_taken: int
+
+    @property
+    def is_final(self) -> bool:
+        return self.kind == FINAL
+
+
+def reduction(part: BAParticipant, ctx: BAContext, round_number: int,
+              hblock: bytes):
+    """Algorithm 7: reduce arbitrary-value agreement to a binary choice.
+
+    Returns either a block hash that gathered a voting quorum or the
+    empty-block hash. Ensures at most one non-empty hash can emerge for
+    all honest users.
+    """
+    params = part.params
+    committee_vote(part, ctx, round_number, REDUCTION_ONE, params.tau_step,
+                   hblock)
+    # Others may still be waiting for block proposals, so the first step
+    # waits lambda_block + lambda_step.
+    hblock1 = yield from count_votes(
+        part, ctx, round_number, REDUCTION_ONE, params.t_step,
+        params.tau_step, params.lambda_block + params.lambda_step,
+    )
+    empty_hash = empty_block_hash(round_number, ctx.last_block_hash)
+    if hblock1 is TIMEOUT:
+        committee_vote(part, ctx, round_number, REDUCTION_TWO,
+                       params.tau_step, empty_hash)
+    else:
+        committee_vote(part, ctx, round_number, REDUCTION_TWO,
+                       params.tau_step, hblock1)
+    hblock2 = yield from count_votes(
+        part, ctx, round_number, REDUCTION_TWO, params.t_step,
+        params.tau_step, params.lambda_step,
+    )
+    if hblock2 is TIMEOUT:
+        return empty_hash
+    return hblock2
+
+
+@dataclass(frozen=True)
+class BinaryResult:
+    """Outcome of BinaryBA*: the agreed hash and where it was decided."""
+
+    value: bytes
+    deciding_step: int
+    voted_final: bool
+
+
+def binary_ba_star(part: BAParticipant, ctx: BAContext, round_number: int,
+                   block_hash: bytes):
+    """Algorithm 8: agree on ``block_hash`` or the empty-block hash.
+
+    Raises:
+        ConsensusHalted: after ``MaxSteps`` steps without consensus; the
+            caller must fall back to the recovery protocol (section 8.2).
+    """
+    params = part.params
+    step = 1
+    r = block_hash
+    empty_hash = empty_block_hash(round_number, ctx.last_block_hash)
+
+    def vote_next_three(final_value: bytes, after_step: int) -> None:
+        # A finished user keeps steering the next three steps (section 7.4).
+        for future in range(after_step + 1, after_step + 4):
+            committee_vote(part, ctx, round_number, str(future),
+                           params.tau_step, final_value)
+
+    while step < params.max_steps:
+        # --- Step A: push toward block_hash on timeout -------------------
+        committee_vote(part, ctx, round_number, str(step), params.tau_step, r)
+        r = yield from count_votes(
+            part, ctx, round_number, str(step), params.t_step,
+            params.tau_step, params.lambda_step,
+        )
+        if r is TIMEOUT:
+            r = block_hash
+        elif r != empty_hash:
+            vote_next_three(r, step)
+            voted_final = step == 1
+            if voted_final:
+                committee_vote(part, ctx, round_number, FINAL_STEP,
+                               params.tau_final, r)
+            return BinaryResult(value=r, deciding_step=step,
+                                voted_final=voted_final)
+        step += 1
+
+        # --- Step B: push toward empty_hash on timeout --------------------
+        committee_vote(part, ctx, round_number, str(step), params.tau_step, r)
+        r = yield from count_votes(
+            part, ctx, round_number, str(step), params.t_step,
+            params.tau_step, params.lambda_step,
+        )
+        if r is TIMEOUT:
+            r = empty_hash
+        elif r == empty_hash:
+            vote_next_three(r, step)
+            return BinaryResult(value=r, deciding_step=step,
+                                voted_final=False)
+        step += 1
+
+        # --- Step C: common coin breaks adversarial splits ----------------
+        committee_vote(part, ctx, round_number, str(step), params.tau_step, r)
+        r = yield from count_votes(
+            part, ctx, round_number, str(step), params.t_step,
+            params.tau_step, params.lambda_step,
+        )
+        if r is TIMEOUT:
+            if common_coin(part, ctx, round_number, str(step),
+                           params.tau_step) == 0:
+                r = block_hash
+            else:
+                r = empty_hash
+        step += 1
+
+    # No consensus after MaxSteps: assume a network problem and rely on
+    # the recovery protocol of section 8.2 (the paper's HangForever()).
+    raise ConsensusHalted(
+        f"BinaryBA* exceeded MaxSteps={params.max_steps} in round "
+        f"{round_number}"
+    )
+
+
+def ba_star(part: BAParticipant, ctx: BAContext, round_number: int,
+            hblock: bytes):
+    """Algorithm 3: full BA* for one round, given the initial block hash.
+
+    Returns an :class:`AgreementResult` whose ``block_hash`` the caller
+    resolves to a block via its proposal store (``BlockOfHash``).
+    """
+    params = part.params
+    reduced = yield from reduction(part, ctx, round_number, hblock)
+    binary = yield from binary_ba_star(part, ctx, round_number, reduced)
+    final_vote = yield from count_votes(
+        part, ctx, round_number, FINAL_STEP, params.t_final,
+        params.tau_final, params.lambda_step,
+    )
+    if final_vote is not TIMEOUT and binary.value == final_vote:
+        kind = FINAL
+    else:
+        kind = TENTATIVE
+    return AgreementResult(
+        kind=kind,
+        block_hash=binary.value,
+        deciding_step=str(binary.deciding_step),
+        steps_taken=binary.deciding_step,
+    )

@@ -1,0 +1,154 @@
+"""Voting primitives of BA* (Algorithms 4, 5, 6 and 9).
+
+These are written as plain functions plus one generator
+(:func:`count_votes`) that runs inside a node's simulation process:
+``value = yield from count_votes(...)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.baplus.buffer import VoteBuffer
+from repro.baplus.context import BAContext
+from repro.baplus.messages import VoteMessage, make_vote
+from repro.common.params import ProtocolParams
+from repro.crypto.backend import CryptoBackend, KeyPair
+from repro.crypto.hashing import H, HASHLEN_BITS
+from repro.sim.loop import Environment
+from repro.sortition.roles import committee_role
+from repro.sortition.selection import SortitionProof, sortition, verify_sort
+
+
+class _TimeoutSentinel:
+    """Unique return value of :func:`count_votes` on timeout."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "TIMEOUT"
+
+
+#: Returned by :func:`count_votes` when no value crossed the threshold.
+TIMEOUT = _TimeoutSentinel()
+
+
+@dataclass
+class BAParticipant:
+    """Everything the BA* procedures need from their host node."""
+
+    env: Environment
+    params: ProtocolParams
+    backend: CryptoBackend
+    buffer: VoteBuffer
+    keypair: KeyPair
+    gossip_vote: Callable[[VoteMessage], None]
+    #: Optional hook ``(round, step, seconds, timed_out)`` called whenever
+    #: a CountVotes invocation completes (feeds the section 10.5
+    #: timeout-validation experiment).
+    step_observer: Callable[[int, str, float, bool], None] | None = None
+
+
+def committee_vote(part: BAParticipant, ctx: BAContext, round_number: int,
+                   step: str, tau: float, value: bytes) -> SortitionProof:
+    """Algorithm 4: gossip a signed vote if selected for this committee.
+
+    Returns the sortition proof (``j == 0`` means not selected, nothing
+    was sent).
+    """
+    role = committee_role(round_number, step)
+    proof = sortition(
+        part.backend, part.keypair.secret, ctx.seed, tau, role,
+        ctx.weight_of(part.keypair.public), ctx.total_weight,
+    )
+    if proof.j > 0:
+        vote = make_vote(
+            part.backend, part.keypair.secret, part.keypair.public,
+            round_number, step, proof.vrf_hash, proof.vrf_proof,
+            ctx.last_block_hash, value,
+        )
+        part.gossip_vote(vote)
+    return proof
+
+
+def process_msg(backend: CryptoBackend, ctx: BAContext, tau: float,
+                vote: VoteMessage) -> tuple[int, bytes | None, bytes | None]:
+    """Algorithm 6: validate a vote; returns ``(votes, value, sorthash)``.
+
+    ``votes == 0`` means the message must be ignored (bad signature, wrong
+    chain, or failed sortition).
+    """
+    if not vote.verify_signature(backend):
+        return 0, None, None
+    if vote.prev_hash != ctx.last_block_hash:
+        # Vote extends a different chain (possibly a fork); ignore here —
+        # the fork monitor tracks these separately (section 8.2).
+        return 0, None, None
+    role = committee_role(vote.round_number, vote.step)
+    votes = verify_sort(
+        backend, vote.voter, vote.sorthash, vote.sortproof, ctx.seed, tau,
+        role, ctx.weight_of(vote.voter), ctx.total_weight,
+    )
+    if votes == 0:
+        return 0, None, None
+    return votes, vote.value, vote.sorthash
+
+
+def count_votes(part: BAParticipant, ctx: BAContext, round_number: int,
+                step: str, threshold_fraction: float, tau: float,
+                lam: float):
+    """Algorithm 5 as a simulation generator.
+
+    Processes buffered votes for ``(round, step)`` as they arrive; returns
+    the first value whose accumulated (deduplicated) votes exceed
+    ``threshold_fraction * tau``, or :data:`TIMEOUT` after ``lam`` seconds.
+    """
+    env = part.env
+    start = env.now
+    deadline = start + lam
+    counts: dict[bytes, int] = {}
+    voters: set[bytes] = set()
+    bucket = part.buffer.messages(round_number, step)
+    cursor = 0
+
+    def _done(result):
+        if part.step_observer is not None:
+            part.step_observer(round_number, step, env.now - start,
+                               result is TIMEOUT)
+        return result
+
+    while True:
+        while cursor < len(bucket):
+            vote = bucket[cursor]
+            cursor += 1
+            votes, value, _ = process_msg(part.backend, ctx, tau, vote)
+            if vote.voter in voters or votes == 0:
+                continue
+            voters.add(vote.voter)
+            counts[value] = counts.get(value, 0) + votes
+            if counts[value] > threshold_fraction * tau:
+                return _done(value)
+        remaining = deadline - env.now
+        if remaining <= 0:
+            return _done(TIMEOUT)
+        yield env.any_of([
+            part.buffer.signal(round_number, step).next_event(),
+            env.timeout(remaining),
+        ])
+
+
+def common_coin(part: BAParticipant, ctx: BAContext, round_number: int,
+                step: str, tau: float) -> int:
+    """Algorithm 9: the committee-derived common coin (0 or 1).
+
+    The coin is the least-significant bit of the minimum
+    ``H(sorthash || j)`` over all valid votes observed in this step, one
+    hash per selected sub-user.
+    """
+    min_hash = 1 << HASHLEN_BITS
+    for vote in part.buffer.messages(round_number, step):
+        votes, _, sorthash = process_msg(part.backend, ctx, tau, vote)
+        for j in range(1, votes + 1):
+            h = int.from_bytes(H(sorthash, j.to_bytes(8, "big")), "big")
+            if h < min_hash:
+                min_hash = h
+    return min_hash % 2

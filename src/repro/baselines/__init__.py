@@ -1,0 +1,52 @@
+"""Baseline systems the paper compares against (Bitcoin / Nakamoto PoW,
+plus the section 2 related-system reference points)."""
+
+from repro.baselines.doublespend import (
+    catch_up_probability,
+    confirmation_latency_seconds,
+    confirmations_needed,
+    double_spend_probability,
+    risk_curve,
+    speedup_table,
+)
+from repro.baselines.related import (
+    BITCOIN,
+    BYZCOIN,
+    HONEY_BADGER,
+    SystemProfile,
+    algorand_profile,
+    comparison_rows,
+    dominates,
+)
+from repro.baselines.nakamoto import (
+    NakamotoConfig,
+    NakamotoResult,
+    NakamotoSimulator,
+    expected_confirmation_latency,
+    fork_probability,
+    paper_comparison,
+    throughput_bytes_per_hour,
+)
+
+__all__ = [
+    "NakamotoConfig",
+    "NakamotoResult",
+    "NakamotoSimulator",
+    "expected_confirmation_latency",
+    "fork_probability",
+    "throughput_bytes_per_hour",
+    "paper_comparison",
+    "double_spend_probability",
+    "catch_up_probability",
+    "confirmations_needed",
+    "confirmation_latency_seconds",
+    "speedup_table",
+    "risk_curve",
+    "SystemProfile",
+    "HONEY_BADGER",
+    "BYZCOIN",
+    "BITCOIN",
+    "algorand_profile",
+    "comparison_rows",
+    "dominates",
+]

@@ -1,0 +1,38 @@
+"""Shared building blocks: parameters, canonical encoding, errors."""
+
+from repro.common.encoding import decode, encode
+from repro.common.errors import (
+    ConsensusHalted,
+    CryptoError,
+    InvalidBlock,
+    InvalidCertificate,
+    InvalidTransaction,
+    LedgerError,
+    NetworkError,
+    ReproError,
+    SignatureError,
+    SimulationError,
+    SortitionError,
+    VRFError,
+)
+from repro.common.params import PAPER_PARAMS, TEST_PARAMS, ProtocolParams
+
+__all__ = [
+    "PAPER_PARAMS",
+    "TEST_PARAMS",
+    "ProtocolParams",
+    "encode",
+    "decode",
+    "ReproError",
+    "CryptoError",
+    "SignatureError",
+    "VRFError",
+    "SortitionError",
+    "LedgerError",
+    "InvalidTransaction",
+    "InvalidBlock",
+    "InvalidCertificate",
+    "SimulationError",
+    "NetworkError",
+    "ConsensusHalted",
+]

@@ -1,0 +1,159 @@
+"""Canonical byte encoding for protocol messages.
+
+Consensus requires every honest node to hash and sign *identical* byte
+strings, so all structures are serialized through one deterministic codec.
+The format is a small, self-describing, length-prefixed binary encoding
+(a simplified canonical CBOR): deterministic, byte-exact, and reversible.
+
+Supported value types: ``None``, ``bool``, ``int`` (signed, arbitrary
+precision), ``bytes``, ``str``, ``list``/``tuple`` (encoded identically) and
+``dict`` with string keys (encoded with keys sorted lexicographically).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any
+
+_TAG_NONE = b"N"
+_TAG_TRUE = b"T"
+_TAG_FALSE = b"F"
+_TAG_INT = b"I"
+_TAG_FLOAT = b"f"
+_TAG_BYTES = b"B"
+_TAG_STR = b"S"
+_TAG_LIST = b"L"
+_TAG_DICT = b"D"
+
+
+def _encode_length(n: int) -> bytes:
+    return struct.pack(">Q", n)
+
+
+def encode(value: Any) -> bytes:
+    """Serialize ``value`` to canonical bytes.
+
+    Raises:
+        TypeError: if ``value`` (or a nested element) has an unsupported
+            type, or a dict has non-string keys.
+    """
+    out = bytearray()
+    _encode_into(value, out)
+    return bytes(out)
+
+
+def _encode_into(value: Any, out: bytearray) -> None:
+    if value is None:
+        out += _TAG_NONE
+    elif value is True:
+        out += _TAG_TRUE
+    elif value is False:
+        out += _TAG_FALSE
+    elif isinstance(value, int):
+        raw = _canonical_int_bytes(value)
+        out += _TAG_INT
+        out += _encode_length(len(raw))
+        out += raw
+    elif isinstance(value, float):
+        # IEEE-754 big-endian double: one canonical bit pattern per value.
+        out += _TAG_FLOAT
+        out += struct.pack(">d", value)
+    elif isinstance(value, (bytes, bytearray, memoryview)):
+        data = bytes(value)
+        out += _TAG_BYTES
+        out += _encode_length(len(data))
+        out += data
+    elif isinstance(value, str):
+        data = value.encode("utf-8")
+        out += _TAG_STR
+        out += _encode_length(len(data))
+        out += data
+    elif isinstance(value, (list, tuple)):
+        out += _TAG_LIST
+        out += _encode_length(len(value))
+        for item in value:
+            _encode_into(item, out)
+    elif isinstance(value, dict):
+        keys = list(value.keys())
+        if not all(isinstance(k, str) for k in keys):
+            raise TypeError("canonical encoding requires string dict keys")
+        out += _TAG_DICT
+        out += _encode_length(len(keys))
+        for key in sorted(keys):
+            _encode_into(key, out)
+            _encode_into(value[key], out)
+    else:
+        raise TypeError(f"cannot canonically encode {type(value).__name__}")
+
+
+def _canonical_int_bytes(value: int) -> bytes:
+    """Minimal-length big-endian two's-complement encoding of ``value``."""
+    if value == 0:
+        return b"\x00"
+    length = (value.bit_length() + 8) // 8
+    raw = value.to_bytes(length, "big", signed=True)
+    # int.to_bytes with the computed length is already minimal for signed
+    # values, but guard against a redundant leading byte.
+    while len(raw) > 1 and (
+        (raw[0] == 0x00 and raw[1] < 0x80)
+        or (raw[0] == 0xFF and raw[1] >= 0x80)
+    ):
+        raw = raw[1:]
+    return raw
+
+
+class _Decoder:
+    def __init__(self, data: bytes) -> None:
+        self.data = data
+        self.pos = 0
+
+    def _take(self, n: int) -> bytes:
+        if self.pos + n > len(self.data):
+            raise ValueError("truncated canonical encoding")
+        chunk = self.data[self.pos:self.pos + n]
+        self.pos += n
+        return chunk
+
+    def _length(self) -> int:
+        return struct.unpack(">Q", self._take(8))[0]
+
+    def decode_value(self) -> Any:
+        tag = self._take(1)
+        if tag == _TAG_NONE:
+            return None
+        if tag == _TAG_TRUE:
+            return True
+        if tag == _TAG_FALSE:
+            return False
+        if tag == _TAG_INT:
+            return int.from_bytes(self._take(self._length()), "big",
+                                  signed=True)
+        if tag == _TAG_FLOAT:
+            return struct.unpack(">d", self._take(8))[0]
+        if tag == _TAG_BYTES:
+            return self._take(self._length())
+        if tag == _TAG_STR:
+            return self._take(self._length()).decode("utf-8")
+        if tag == _TAG_LIST:
+            return [self.decode_value() for _ in range(self._length())]
+        if tag == _TAG_DICT:
+            n = self._length()
+            result = {}
+            for _ in range(n):
+                key = self.decode_value()
+                result[key] = self.decode_value()
+            return result
+        raise ValueError(f"unknown encoding tag {tag!r}")
+
+
+def decode(data: bytes) -> Any:
+    """Inverse of :func:`encode`.
+
+    Raises:
+        ValueError: if ``data`` is not a complete canonical encoding.
+    """
+    decoder = _Decoder(data)
+    value = decoder.decode_value()
+    if decoder.pos != len(data):
+        raise ValueError("trailing bytes after canonical encoding")
+    return value

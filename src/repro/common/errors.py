@@ -1,0 +1,61 @@
+"""Exception hierarchy for the Algorand reproduction.
+
+Every package raises subclasses of :class:`ReproError` so that callers can
+distinguish protocol-level failures (invalid blocks, bad proofs) from
+programming errors (which surface as standard Python exceptions).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class CryptoError(ReproError):
+    """A cryptographic operation failed (bad key, bad signature encoding)."""
+
+
+class SignatureError(CryptoError):
+    """A signature failed verification."""
+
+
+class VRFError(CryptoError):
+    """A VRF proof failed verification or could not be decoded."""
+
+
+class SortitionError(ReproError):
+    """Sortition was invoked with inconsistent weights or parameters."""
+
+
+class LedgerError(ReproError):
+    """A ledger operation failed (unknown account, malformed block)."""
+
+
+class InvalidTransaction(LedgerError):
+    """A transaction failed validation (bad signature, overspend, replay)."""
+
+
+class InvalidBlock(LedgerError):
+    """A proposed block failed validation (per paper section 8.1)."""
+
+
+class InvalidCertificate(LedgerError):
+    """A block certificate does not carry enough valid committee votes."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an inconsistent state."""
+
+
+class NetworkError(ReproError):
+    """The simulated network was misconfigured (unknown peer, bad topology)."""
+
+
+class ConsensusHalted(ReproError):
+    """BinaryBA* exceeded MaxSteps; liveness must be restored by recovery.
+
+    This mirrors the ``HangForever()`` call in Algorithm 8: the protocol
+    deliberately stops making progress and waits for the periodic recovery
+    protocol of section 8.2.
+    """

@@ -1,0 +1,162 @@
+"""Pluggable crypto backends.
+
+Two interchangeable implementations of the same interface:
+
+* :class:`Ed25519Backend` — real Ed25519 signatures (RFC 8032) and the
+  ECVRF suite (RFC 9381). Bit-for-bit faithful to the paper's crypto, but
+  pure Python and therefore slow.
+* :class:`FastBackend` — a simulation-grade backend. Signatures and VRF
+  outputs are SHA-512-derived from the secret key, so they have exactly the
+  distributional properties sortition needs (deterministic, uniform,
+  unforgeable-within-the-simulation) while costing a single hash.
+  Verification resolves the secret through an in-process registry — the
+  moral equivalent of the paper's section 10.1 trick of replacing signature
+  verification with an equal-duration sleep.
+
+All higher layers (sortition, BA*, the ledger) speak only to this
+interface, so every experiment can run under either backend.
+"""
+
+from __future__ import annotations
+
+import hmac
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.common.errors import CryptoError, SignatureError, VRFError
+from repro.crypto import ed25519, vrf
+from repro.crypto.hashing import sha512
+
+
+@dataclass(frozen=True)
+class KeyPair:
+    """A user's key pair. ``public`` doubles as the user's identity."""
+
+    secret: bytes
+    public: bytes
+
+
+class CryptoBackend(ABC):
+    """Signature + VRF operations used by the protocol."""
+
+    name: str
+
+    @abstractmethod
+    def keypair(self, seed: bytes) -> KeyPair:
+        """Deterministically derive a key pair from a 32-byte seed."""
+
+    @abstractmethod
+    def sign(self, secret: bytes, message: bytes) -> bytes:
+        """Sign ``message``; returns the signature bytes."""
+
+    @abstractmethod
+    def verify(self, public: bytes, message: bytes, signature: bytes) -> None:
+        """Raise :class:`SignatureError` unless the signature is valid."""
+
+    @abstractmethod
+    def vrf_prove(self, secret: bytes, alpha: bytes) -> tuple[bytes, bytes]:
+        """Evaluate the VRF on ``alpha``; returns ``(hash, proof)``.
+
+        ``hash`` is the pseudorandom output (``beta``); ``proof`` lets
+        anyone holding the public key verify it.
+        """
+
+    @abstractmethod
+    def vrf_verify(self, public: bytes, proof: bytes, alpha: bytes) -> bytes:
+        """Verify a VRF proof and return its hash output.
+
+        Raises:
+            VRFError: if the proof does not verify for ``alpha``.
+        """
+
+    def is_valid_signature(self, public: bytes, message: bytes,
+                           signature: bytes) -> bool:
+        """Boolean convenience wrapper over :meth:`verify`."""
+        try:
+            self.verify(public, message, signature)
+        except SignatureError:
+            return False
+        return True
+
+
+class Ed25519Backend(CryptoBackend):
+    """Real crypto: Ed25519 signatures and ECVRF-EDWARDS25519-SHA512-TAI."""
+
+    name = "ed25519"
+
+    def keypair(self, seed: bytes) -> KeyPair:
+        if len(seed) != 32:
+            raise CryptoError("key seed must be 32 bytes")
+        return KeyPair(secret=seed, public=ed25519.secret_to_public(seed))
+
+    def sign(self, secret: bytes, message: bytes) -> bytes:
+        return ed25519.sign(secret, message)
+
+    def verify(self, public: bytes, message: bytes, signature: bytes) -> None:
+        ed25519.verify(public, message, signature)
+
+    def vrf_prove(self, secret: bytes, alpha: bytes) -> tuple[bytes, bytes]:
+        proof = vrf.prove(secret, alpha)
+        return vrf.proof_to_hash(proof), proof
+
+    def vrf_verify(self, public: bytes, proof: bytes, alpha: bytes) -> bytes:
+        return vrf.verify(public, proof, alpha)
+
+
+class FastBackend(CryptoBackend):
+    """Hash-based simulation backend with an in-process key registry.
+
+    Security properties hold only against adversaries *inside the
+    simulation*, which never inspect the registry; distributional
+    properties (uniform VRF outputs, per-key determinism) are exact.
+    """
+
+    name = "fast"
+
+    _SIG_LEN = 32
+    _PROOF_LEN = 64
+
+    def __init__(self) -> None:
+        self._registry: dict[bytes, bytes] = {}
+
+    def keypair(self, seed: bytes) -> KeyPair:
+        if len(seed) != 32:
+            raise CryptoError("key seed must be 32 bytes")
+        public = sha512(b"fast-pk", seed)[:32]
+        self._registry[public] = seed
+        return KeyPair(secret=seed, public=public)
+
+    def _secret_for(self, public: bytes) -> bytes:
+        try:
+            return self._registry[public]
+        except KeyError:
+            raise CryptoError(
+                "unknown public key: FastBackend can only verify keys it "
+                "generated (use one backend instance per simulation)"
+            ) from None
+
+    def sign(self, secret: bytes, message: bytes) -> bytes:
+        return sha512(b"fast-sig", secret, message)[:self._SIG_LEN]
+
+    def verify(self, public: bytes, message: bytes, signature: bytes) -> None:
+        secret = self._secret_for(public)
+        expected = self.sign(secret, message)
+        if not hmac.compare_digest(expected, signature):
+            raise SignatureError("signature mismatch")
+
+    def vrf_prove(self, secret: bytes, alpha: bytes) -> tuple[bytes, bytes]:
+        beta = sha512(b"fast-vrf", secret, alpha)
+        proof = sha512(b"fast-vrf-proof", secret, alpha)
+        return beta, proof
+
+    def vrf_verify(self, public: bytes, proof: bytes, alpha: bytes) -> bytes:
+        secret = self._secret_for(public)
+        beta, expected = self.vrf_prove(secret, alpha)
+        if not hmac.compare_digest(expected, proof):
+            raise VRFError("VRF proof verification failed")
+        return beta
+
+
+def default_backend() -> CryptoBackend:
+    """Backend used when none is specified: fast, simulation-grade."""
+    return FastBackend()

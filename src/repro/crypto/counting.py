@@ -1,0 +1,75 @@
+"""Operation-counting backend wrapper (CPU-cost proxy, section 10.3).
+
+The paper reports that Algorand's CPU cost is dominated by verifying
+signatures and VRFs (~6.5% of a core per user at 50k users). Our
+simulation cannot measure wall-clock CPU meaningfully, so the costs
+experiment counts the operations themselves: wrap any backend in
+:class:`CountingBackend` and read :attr:`CryptoOpCounts` afterwards.
+Multiplying by per-op costs of a production implementation (e.g. ~50 us
+per Ed25519 verify in C) converts counts into CPU estimates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.crypto.backend import CryptoBackend, KeyPair
+
+
+@dataclass
+class CryptoOpCounts:
+    """Totals across a simulation."""
+
+    keypairs: int = 0
+    signs: int = 0
+    verifies: int = 0
+    vrf_proves: int = 0
+    vrf_verifies: int = 0
+
+    @property
+    def total_verifications(self) -> int:
+        """The ops the paper identifies as the CPU bottleneck."""
+        return self.verifies + self.vrf_verifies
+
+    def cpu_seconds(self, sign_cost: float = 25e-6,
+                    verify_cost: float = 60e-6,
+                    vrf_prove_cost: float = 100e-6,
+                    vrf_verify_cost: float = 130e-6) -> float:
+        """Estimated CPU time at production (C library) per-op costs."""
+        return (self.signs * sign_cost
+                + self.verifies * verify_cost
+                + self.vrf_proves * vrf_prove_cost
+                + self.vrf_verifies * vrf_verify_cost)
+
+
+@dataclass
+class CountingBackend(CryptoBackend):
+    """Delegates to ``inner`` while tallying every operation."""
+
+    inner: CryptoBackend
+    counts: CryptoOpCounts = field(default_factory=CryptoOpCounts)
+
+    def __post_init__(self) -> None:
+        self.name = f"counting({self.inner.name})"
+
+    def keypair(self, seed: bytes) -> KeyPair:
+        self.counts.keypairs += 1
+        return self.inner.keypair(seed)
+
+    def sign(self, secret: bytes, message: bytes) -> bytes:
+        self.counts.signs += 1
+        return self.inner.sign(secret, message)
+
+    def verify(self, public: bytes, message: bytes,
+               signature: bytes) -> None:
+        self.counts.verifies += 1
+        self.inner.verify(public, message, signature)
+
+    def vrf_prove(self, secret: bytes, alpha: bytes) -> tuple[bytes, bytes]:
+        self.counts.vrf_proves += 1
+        return self.inner.vrf_prove(secret, alpha)
+
+    def vrf_verify(self, public: bytes, proof: bytes,
+                   alpha: bytes) -> bytes:
+        self.counts.vrf_verifies += 1
+        return self.inner.vrf_verify(public, proof, alpha)

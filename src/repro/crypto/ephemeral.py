@@ -1,0 +1,127 @@
+"""Forward-secure ephemeral signing keys (paper section 11).
+
+The attack: committee members reveal themselves when they vote; an
+adversary corrupting enough *past* members could re-sign old steps and
+forge a certificate for a fork. The paper's sketched fix: "users forget
+the signing key before sending out a signed message (and commit to a
+series of signing keys ahead of time)".
+
+This module realizes that sketch:
+
+* a :class:`EphemeralKeyChain` derives one signing key per
+  ``(round, step)`` slot from a master secret, commits to the whole
+  window with a single Merkle root, and **erases** each slot's secret
+  the moment it is used;
+* verifiers check a vote's ephemeral public key against the published
+  root with a logarithmic Merkle proof — no interaction, no extra trust.
+
+Compromise after use yields nothing: the per-slot secret is gone and the
+master secret never signs protocol messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.encoding import encode
+from repro.common.errors import CryptoError
+from repro.crypto.backend import CryptoBackend, KeyPair
+from repro.crypto.hashing import sha512
+from repro.crypto.merkle import MerkleProof, merkle_proof, merkle_root, verify_merkle
+
+
+@dataclass(frozen=True)
+class EphemeralKey:
+    """One disclosed slot: key pair + proof of commitment membership."""
+
+    keypair: KeyPair
+    round_number: int
+    step: str
+    proof: MerkleProof
+
+
+class EphemeralKeyChain:
+    """Per-(round, step) one-shot signing keys under one commitment.
+
+    Args:
+        backend: crypto backend keys are generated for.
+        master_secret: 32-byte seed; never used to sign anything.
+        first_round: first round covered by this window.
+        num_rounds: rounds in the window.
+        steps: step labels covered per round (must include every step a
+            committee member might vote in, e.g. reduction steps,
+            ``1..MaxSteps`` and ``final``).
+    """
+
+    def __init__(self, backend: CryptoBackend, master_secret: bytes,
+                 first_round: int, num_rounds: int,
+                 steps: list[str]) -> None:
+        if len(master_secret) != 32:
+            raise CryptoError("master secret must be 32 bytes")
+        if num_rounds < 1 or not steps:
+            raise ValueError("window must cover >= 1 round and >= 1 step")
+        self._backend = backend
+        self.first_round = first_round
+        self.num_rounds = num_rounds
+        self.steps = list(steps)
+        self._secrets: dict[tuple[int, str], bytes] = {}
+        leaves: list[bytes] = []
+        for round_number in range(first_round, first_round + num_rounds):
+            for step in self.steps:
+                seed = sha512(b"ephemeral", master_secret,
+                              encode([round_number, step]))[:32]
+                self._secrets[(round_number, step)] = seed
+                leaves.append(self._leaf(round_number, step,
+                                         backend.keypair(seed).public))
+        self._leaves = leaves
+        self.root = merkle_root(leaves)
+
+    @staticmethod
+    def _leaf(round_number: int, step: str, public: bytes) -> bytes:
+        # The leaf binds the key to its slot, so a revealed key cannot be
+        # replayed for a different round/step.
+        return encode([round_number, step, public])
+
+    def _slot_index(self, round_number: int, step: str) -> int:
+        round_offset = round_number - self.first_round
+        if not 0 <= round_offset < self.num_rounds:
+            raise KeyError(f"round {round_number} outside this window")
+        try:
+            step_offset = self.steps.index(step)
+        except ValueError:
+            raise KeyError(f"step {step!r} not covered") from None
+        return round_offset * len(self.steps) + step_offset
+
+    def use_key(self, round_number: int, step: str) -> EphemeralKey:
+        """Disclose the slot's key pair and *erase* its secret.
+
+        Raises:
+            KeyError: if the slot is outside the window or already used
+                (forward security: a used key cannot be re-derived).
+        """
+        secret = self._secrets.pop((round_number, step), None)
+        if secret is None:
+            raise KeyError(
+                f"ephemeral key for ({round_number}, {step}) already "
+                f"used or out of window")
+        index = self._slot_index(round_number, step)
+        return EphemeralKey(
+            keypair=self._backend.keypair(secret),
+            round_number=round_number,
+            step=step,
+            proof=merkle_proof(self._leaves, index),
+        )
+
+    def remaining_slots(self) -> int:
+        return len(self._secrets)
+
+
+def verify_ephemeral_key(root: bytes, public: bytes, round_number: int,
+                         step: str, proof: MerkleProof) -> bool:
+    """Check that ``public`` is the committed key for ``(round, step)``.
+
+    Any user holding the signer's published commitment ``root`` can run
+    this before accepting a vote signed by an ephemeral key.
+    """
+    leaf = EphemeralKeyChain._leaf(round_number, step, public)
+    return verify_merkle(root, leaf, proof)

@@ -1,0 +1,88 @@
+"""Merkle tree commitments.
+
+Substrate for the forward-security extension (paper section 11): a user
+commits to a series of ephemeral signing keys by publishing one Merkle
+root; each key is later revealed together with a logarithmic membership
+proof. Domain separation (leaf vs interior prefixes) prevents
+second-preimage splices between levels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.hashing import H
+
+_LEAF_PREFIX = b"\x00"
+_NODE_PREFIX = b"\x01"
+
+
+def _leaf_hash(leaf: bytes) -> bytes:
+    return H(_LEAF_PREFIX, leaf)
+
+
+def _node_hash(left: bytes, right: bytes) -> bytes:
+    return H(_NODE_PREFIX, left, right)
+
+
+def _levels(leaves: list[bytes]) -> list[list[bytes]]:
+    if not leaves:
+        raise ValueError("cannot build a Merkle tree over zero leaves")
+    level = [_leaf_hash(leaf) for leaf in leaves]
+    levels = [level]
+    while len(level) > 1:
+        nxt = []
+        for i in range(0, len(level), 2):
+            if i + 1 < len(level):
+                nxt.append(_node_hash(level[i], level[i + 1]))
+            else:
+                # Odd node is promoted unchanged (Bitcoin-style
+                # duplication would allow mutation attacks).
+                nxt.append(level[i])
+        level = nxt
+        levels.append(level)
+    return levels
+
+
+def merkle_root(leaves: list[bytes]) -> bytes:
+    """Root commitment over ``leaves`` (order-sensitive)."""
+    return _levels(leaves)[-1][0]
+
+
+@dataclass(frozen=True)
+class MerkleProof:
+    """Membership proof: sibling hashes from leaf to root."""
+
+    index: int
+    siblings: tuple[tuple[bytes, bool], ...]  # (hash, sibling_is_left)
+
+    @property
+    def size(self) -> int:
+        return 8 + sum(len(h) + 1 for h, _ in self.siblings)
+
+
+def merkle_proof(leaves: list[bytes], index: int) -> MerkleProof:
+    """Prove that ``leaves[index]`` is under ``merkle_root(leaves)``."""
+    if not 0 <= index < len(leaves):
+        raise IndexError(f"leaf index {index} out of range")
+    siblings: list[tuple[bytes, bool]] = []
+    position = index
+    for level in _levels(leaves)[:-1]:
+        if position % 2 == 0:
+            if position + 1 < len(level):
+                siblings.append((level[position + 1], False))
+        else:
+            siblings.append((level[position - 1], True))
+        position //= 2
+    return MerkleProof(index=index, siblings=tuple(siblings))
+
+
+def verify_merkle(root: bytes, leaf: bytes, proof: MerkleProof) -> bool:
+    """Check a membership proof against a root."""
+    current = _leaf_hash(leaf)
+    for sibling, sibling_is_left in proof.siblings:
+        if sibling_is_left:
+            current = _node_hash(sibling, current)
+        else:
+            current = _node_hash(current, sibling)
+    return current == root

@@ -1,0 +1,149 @@
+"""Verifiable Random Function: ECVRF-EDWARDS25519-SHA512-TAI.
+
+The paper (section 5) builds cryptographic sortition on a VRF and cites the
+Goldberg et al. construction [28], which was later standardized as RFC 9381.
+This module implements the ``ECVRF-EDWARDS25519-SHA512-TAI`` ciphersuite on
+top of the Ed25519 arithmetic in :mod:`repro.crypto.ed25519`:
+
+* ``prove(sk, alpha)`` returns an 80-byte proof ``pi``.
+* ``proof_to_hash(pi)`` returns the 64-byte pseudorandom output ``beta``.
+* ``verify(pk, pi, alpha)`` checks the proof and returns ``beta``.
+
+Properties relied on by the protocol (and exercised by the test suite):
+*uniqueness* (one valid ``beta`` per key/input), *pseudorandomness* (``beta``
+is uniform to anyone without ``sk``), and *verifiability*.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import CryptoError, VRFError
+from repro.crypto import ed25519
+from repro.crypto.ed25519 import (
+    BASE_POINT,
+    IDENTITY,
+    Q,
+    point_add,
+    point_compress,
+    point_decompress,
+    point_equal,
+    point_mul,
+)
+from repro.crypto.hashing import sha512
+
+#: RFC 9381 suite string for ECVRF-EDWARDS25519-SHA512-TAI.
+SUITE = b"\x03"
+#: Challenge length in octets (cLen).
+CHALLENGE_LEN = 16
+#: Proof length: 32 (Gamma) + 16 (c) + 32 (s).
+PROOF_LEN = 80
+#: VRF output length in octets (SHA-512 digest).
+BETA_LEN = 64
+
+_COFACTOR = 8
+
+
+def _point_neg(point: ed25519._Point) -> ed25519._Point:
+    x, y, z, t = point
+    return ((-x) % ed25519.P, y, z, (-t) % ed25519.P)
+
+
+def _encode_to_curve(pk_bytes: bytes, alpha: bytes) -> ed25519._Point:
+    """Try-and-increment hash-to-curve (RFC 9381, section 5.4.1.1)."""
+    for ctr in range(256):
+        hash_string = sha512(
+            SUITE, b"\x01", pk_bytes, alpha, bytes([ctr]), b"\x00"
+        )
+        try:
+            candidate = point_decompress(hash_string[:32])
+        except CryptoError:
+            continue
+        point = point_mul(_COFACTOR, candidate)
+        if not point_equal(point, IDENTITY):
+            return point
+    raise VRFError("encode_to_curve failed after 256 attempts")
+
+
+def _challenge(points: list[bytes]) -> int:
+    """Challenge generation (RFC 9381, section 5.4.3)."""
+    c_string = sha512(SUITE, b"\x02", *points, b"\x00")[:CHALLENGE_LEN]
+    return int.from_bytes(c_string, "little")
+
+
+def _nonce(secret: bytes, h_string: bytes) -> int:
+    """Deterministic nonce (RFC 8032-style, RFC 9381 section 5.4.2.2)."""
+    prefix = sha512(secret)[32:]
+    return int.from_bytes(sha512(prefix, h_string), "little") % Q
+
+
+def prove(secret: bytes, alpha: bytes) -> bytes:
+    """Produce the VRF proof ``pi`` for input ``alpha`` under ``secret``."""
+    x = ed25519.secret_scalar(secret)
+    pk_bytes = ed25519.secret_to_public(secret)
+    h_point = _encode_to_curve(pk_bytes, alpha)
+    h_string = point_compress(h_point)
+    gamma = point_mul(x, h_point)
+    k = _nonce(secret, h_string)
+    c = _challenge([
+        pk_bytes,
+        h_string,
+        point_compress(gamma),
+        point_compress(point_mul(k, BASE_POINT)),
+        point_compress(point_mul(k, h_point)),
+    ])
+    s = (k + c * x) % Q
+    return (
+        point_compress(gamma)
+        + c.to_bytes(CHALLENGE_LEN, "little")
+        + s.to_bytes(32, "little")
+    )
+
+
+def _decode_proof(pi: bytes) -> tuple[ed25519._Point, int, int]:
+    if len(pi) != PROOF_LEN:
+        raise VRFError(f"proof must be {PROOF_LEN} bytes, got {len(pi)}")
+    try:
+        gamma = point_decompress(pi[:32])
+    except CryptoError as exc:
+        raise VRFError(f"invalid Gamma encoding: {exc}") from exc
+    c = int.from_bytes(pi[32:32 + CHALLENGE_LEN], "little")
+    s = int.from_bytes(pi[32 + CHALLENGE_LEN:], "little")
+    if s >= Q:
+        raise VRFError("proof scalar s out of range")
+    return gamma, c, s
+
+
+def proof_to_hash(pi: bytes) -> bytes:
+    """Map a proof to its 64-byte VRF output ``beta`` (section 5.2)."""
+    gamma, _, _ = _decode_proof(pi)
+    gamma_cleared = point_mul(_COFACTOR, gamma)
+    return sha512(SUITE, b"\x03", point_compress(gamma_cleared), b"\x00")
+
+
+def verify(public: bytes, pi: bytes, alpha: bytes) -> bytes:
+    """Verify ``pi`` for ``alpha`` under ``public``; return ``beta``.
+
+    Raises:
+        VRFError: if the proof is malformed or does not verify.
+    """
+    gamma, c, s = _decode_proof(pi)
+    try:
+        y_point = point_decompress(public)
+    except CryptoError as exc:
+        raise VRFError(f"invalid public key: {exc}") from exc
+    h_point = _encode_to_curve(public, alpha)
+    h_string = point_compress(h_point)
+    # U = s*B - c*Y ; V = s*H - c*Gamma
+    u_point = point_add(point_mul(s, BASE_POINT),
+                        _point_neg(point_mul(c, y_point)))
+    v_point = point_add(point_mul(s, h_point),
+                        _point_neg(point_mul(c, gamma)))
+    c_prime = _challenge([
+        public,
+        h_string,
+        point_compress(gamma),
+        point_compress(u_point),
+        point_compress(v_point),
+    ])
+    if c != c_prime:
+        raise VRFError("VRF proof verification failed")
+    return proof_to_hash(pi)

@@ -1,0 +1,71 @@
+"""Experiment harness and per-figure/table runners for the evaluation."""
+
+from repro.experiments.adversarial import (
+    AdversarialPoint,
+    figure8,
+    run_adversarial_point,
+)
+from repro.experiments.costs import (
+    CostReport,
+    bandwidth_independence,
+    expected_certificate_bytes,
+    measure_costs,
+)
+from repro.experiments.harness import Simulation, SimulationConfig
+from repro.experiments.latency import (
+    LatencyPoint,
+    figure5,
+    figure6,
+    flatness,
+    run_latency_point,
+)
+from repro.experiments.metrics import LatencySummary, format_table
+from repro.experiments.throughput import (
+    BlockSizePoint,
+    ThroughputRow,
+    figure7,
+    paper_scale_projection,
+    run_block_size_point,
+    throughput_table,
+)
+from repro.experiments.waiting import (
+    WaitingPoint,
+    run_waiting_point,
+    waiting_tradeoff,
+)
+from repro.experiments.timeouts import (
+    TimeoutReport,
+    measure_priority_gossip,
+    measure_timeouts,
+)
+
+__all__ = [
+    "Simulation",
+    "SimulationConfig",
+    "LatencySummary",
+    "format_table",
+    "LatencyPoint",
+    "run_latency_point",
+    "figure5",
+    "figure6",
+    "flatness",
+    "BlockSizePoint",
+    "ThroughputRow",
+    "run_block_size_point",
+    "figure7",
+    "throughput_table",
+    "paper_scale_projection",
+    "CostReport",
+    "measure_costs",
+    "bandwidth_independence",
+    "expected_certificate_bytes",
+    "AdversarialPoint",
+    "run_adversarial_point",
+    "figure8",
+    "TimeoutReport",
+    "measure_timeouts",
+    "measure_priority_gossip",
+    "WaitingPoint",
+    "run_waiting_point",
+    "waiting_tradeoff",
+]

@@ -1,0 +1,228 @@
+"""Regenerate every reproduced figure/table from the command line.
+
+Usage::
+
+    python -m repro.experiments              # everything (~10 min)
+    python -m repro.experiments fig5 tab_costs   # a subset
+
+Artifacts: fig3, fig5, fig6, fig7, fig8, tab_throughput, tab_costs,
+tab_timeouts, tab_params. Output is printed as ASCII tables; the same
+code paths run under ``pytest benchmarks/ --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis.committee import (
+    certificate_forgery_log2,
+    check_paper_step_parameters,
+    figure3_curve,
+    final_step_safety,
+)
+from repro.baselines.nakamoto import NakamotoConfig, throughput_bytes_per_hour
+from repro.common.params import PAPER_PARAMS
+from repro.experiments.adversarial import figure8
+from repro.experiments.costs import expected_certificate_bytes, measure_costs
+from repro.experiments.latency import figure5, figure6, flatness
+from repro.experiments.metrics import format_table
+from repro.experiments.throughput import (
+    figure7,
+    paper_scale_projection,
+    throughput_table,
+)
+from repro.experiments.timeouts import measure_priority_gossip, measure_timeouts
+
+
+def _banner(title: str) -> None:
+    print(f"\n{'=' * 66}\n{title}\n{'=' * 66}")
+
+
+def run_fig3() -> None:
+    _banner("Figure 3: committee size vs honest fraction (eps = 5e-9)")
+    points = figure3_curve([0.78, 0.80, 0.84, 0.88])
+    print(format_table(
+        ["h", "tau", "T"],
+        [[f"{p.honest_fraction:.0%}", p.committee_size,
+          f"{p.threshold:.3f}"] for p in points]))
+    print(f"paper's starred point: tau=2000, T=0.685 at h=80% "
+          f"(violation {check_paper_step_parameters():.1e})")
+
+
+def run_fig5() -> None:
+    _banner("Figure 5: round latency vs #users (simulated seconds)")
+    points = figure5([30, 60, 120], seed=100, payload_bytes=40_000)
+    print(format_table(
+        ["users", "min", "p25", "median", "p75", "max"],
+        [[p.num_users] + list(p.summary.row().values()) for p in points]))
+    print(f"flatness (max/min median): {flatness(points):.2f} "
+          f"(paper: near-constant)")
+
+
+def run_fig6() -> None:
+    _banner("Figure 6: latency under 10x bandwidth contention")
+    points = figure6([60, 120], seed=200)
+    print(format_table(
+        ["users", "min", "p25", "median", "p75", "max"],
+        [[p.num_users] + list(p.summary.row().values()) for p in points]))
+    print(f"flatness: {flatness(points):.2f}")
+
+
+def run_fig7() -> None:
+    _banner("Figure 7: round segments vs block size")
+    points = figure7([1_000, 50_000, 200_000], seed=300, num_users=30)
+    print(format_table(
+        ["block B", "proposal", "BA*", "final", "total"],
+        [[p.block_size, f"{p.proposal_time:.2f}", f"{p.ba_time:.2f}",
+          f"{p.final_step_time:.2f}", f"{p.total:.2f}"] for p in points]))
+
+
+def run_fig8() -> None:
+    _banner("Figure 8: latency vs fraction of malicious users")
+    points = figure8([0.0, 0.10, 0.20], num_users=20, seed=700)
+    print(format_table(
+        ["malicious", "min", "median", "max", "agreed", "empty rounds"],
+        [[f"{p.malicious_fraction:.0%}", p.summary.row()["min"],
+          p.summary.row()["median"], p.summary.row()["max"], p.agreed,
+          p.empty_rounds] for p in points]))
+
+
+def run_tab_throughput() -> None:
+    _banner("Section 10.2: throughput vs Bitcoin")
+    points = figure7([50_000, 200_000], seed=400, num_users=30)
+    rows = throughput_table(points)
+    print(format_table(
+        ["system", "block B", "round s", "MB/hour", "vs bitcoin"],
+        [[r.system, r.block_size, f"{r.round_time:.1f}",
+          f"{r.bytes_per_hour / 1e6:.1f}", f"{r.ratio_vs_bitcoin:.1f}x"]
+         for r in rows]))
+    projection = paper_scale_projection()
+    bitcoin = throughput_bytes_per_hour(NakamotoConfig())
+    print(f"paper-scale projection (10 MB blocks): "
+          f"{projection / 1e6:.0f} MB/h = {projection / bitcoin:.0f}x "
+          f"Bitcoin (paper: ~750 MB/h, 125x)")
+
+
+def run_tab_costs() -> None:
+    _banner("Section 10.3: per-user costs")
+    report = measure_costs(40, rounds=3, seed=500, payload_bytes=40_000)
+    print(format_table(["metric", "measured"], [
+        ["bandwidth / user",
+         f"{report.mean_bandwidth_bits_per_sec / 1e6:.2f} Mbit/s"],
+        ["certificate", f"{report.certificate_bytes / 1e3:.1f} KB "
+                        f"({report.certificate_votes:.0f} votes)"],
+        ["certificate overhead", f"{report.certificate_overhead:.0%}"],
+        ["storage/round (10 shards)",
+         f"{report.storage_per_round_sharded_10 / 1e3:.1f} KB"],
+    ]))
+    print(f"paper-scale certificate (tau=2000): "
+          f"{expected_certificate_bytes(PAPER_PARAMS) / 1e3:.0f} KB "
+          f"(paper: ~300 KB)")
+
+
+def run_tab_timeouts() -> None:
+    _banner("Section 10.5: timeout validation")
+    report = measure_timeouts(40, rounds=3, seed=800)
+    print(format_table(["quantity", "measured", "budget"], [
+        ["BA* step p99", f"{report.step_p99:.2f} s",
+         f"{report.lambda_step:.0f} s"],
+        ["BA* completion IQR", f"{report.ba_iqr:.2f} s",
+         f"{report.lambda_stepvar:.0f} s"],
+        ["block obtained p99", f"{report.proposal_p99:.2f} s",
+         f"{report.lambda_block_budget:.0f} s"],
+    ]))
+    print(f"priority gossip to 60 users: "
+          f"{measure_priority_gossip(60, seed=801):.2f} s "
+          f"(budget 5 s; paper measures ~1 s)")
+
+
+def run_tab_params() -> None:
+    _banner("Figure 4: implementation parameters")
+    p = PAPER_PARAMS
+    print(format_table(["parameter", "value"], [
+        ["h", f"{p.honest_fraction:.0%}"],
+        ["R", p.seed_refresh_interval],
+        ["tau_proposer / tau_step / tau_final",
+         f"{p.tau_proposer} / {p.tau_step} / {p.tau_final}"],
+        ["T_step / T_final", f"{p.t_step} / {p.t_final}"],
+        ["MaxSteps", p.max_steps],
+        ["lambdas (priority/block/step/stepvar)",
+         f"{p.lambda_priority:.0f} / {p.lambda_block:.0f} / "
+         f"{p.lambda_step:.0f} / {p.lambda_stepvar:.0f} s"],
+    ]))
+    print(f"final-step violation: {final_step_safety():.1e}; "
+          f"certificate forgery: 2^{certificate_forgery_log2():.0f}")
+
+
+def run_tab_related() -> None:
+    _banner("Sections 1-2: double-spend wait and related systems")
+    from repro.baselines.doublespend import speedup_table
+    from repro.baselines.related import comparison_rows
+    print(format_table(
+        ["attacker q", "blocks", "bitcoin wait", "speedup"],
+        [[f"{row['q']:.0%}", row["z"],
+          f"{row['bitcoin_wait_s'] / 60:.0f} min",
+          f"{row['speedup']:.0f}x"] for row in speedup_table()]))
+    print(format_table(
+        ["system", "latency", "open", "fork-free", "adaptive-adv"],
+        [[p.name, f"{p.latency_seconds:.0f} s", p.decentralized,
+          not p.forks_possible, p.adaptive_adversary]
+         for p in comparison_rows()]))
+
+
+def run_tab_waiting() -> None:
+    _banner("Section 6: proposal-wait trade-off")
+    from repro.experiments.waiting import waiting_tradeoff
+    points = waiting_tradeoff([0.02, 0.5, 2.0], seed=10)
+    print(format_table(
+        ["wait", "empty rounds", "median latency"],
+        [[f"{p.wait_seconds:.2f} s", f"{p.empty_fraction:.0%}",
+          f"{p.median_latency:.2f} s"] for p in points]))
+
+
+def run_tab_scalability() -> None:
+    _banner("Section 8.4 topology + section 7 step counts")
+    from repro.analysis.graph import diameter_scaling
+    from repro.analysis.steps import (
+        COMMON_CASE_STEPS,
+        expected_total_steps_worst_case,
+    )
+    print(format_table(
+        ["users", "giant component", "diameter"],
+        [[r.num_nodes, f"{r.giant_component_fraction:.3f}", r.diameter]
+         for r in diameter_scaling([50, 400, 3200])]))
+    print(f"BA* steps: {COMMON_CASE_STEPS} common case, "
+          f"{expected_total_steps_worst_case():.0f} expected worst case "
+          f"(paper: 4 and 13)")
+
+
+ARTIFACTS = {
+    "fig3": run_fig3,
+    "fig5": run_fig5,
+    "fig6": run_fig6,
+    "fig7": run_fig7,
+    "fig8": run_fig8,
+    "tab_throughput": run_tab_throughput,
+    "tab_costs": run_tab_costs,
+    "tab_timeouts": run_tab_timeouts,
+    "tab_params": run_tab_params,
+    "tab_related": run_tab_related,
+    "tab_waiting": run_tab_waiting,
+    "tab_scalability": run_tab_scalability,
+}
+
+
+def main(argv: list[str]) -> int:
+    requested = argv or list(ARTIFACTS)
+    unknown = [name for name in requested if name not in ARTIFACTS]
+    if unknown:
+        print(f"unknown artifact(s): {', '.join(unknown)}")
+        print(f"available: {', '.join(ARTIFACTS)}")
+        return 2
+    for name in requested:
+        ARTIFACTS[name]()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

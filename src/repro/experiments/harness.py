@@ -1,0 +1,214 @@
+"""Simulation harness: build and run whole Algorand deployments.
+
+One :class:`Simulation` owns an event loop, a gossip network, and ``n``
+nodes sharing a genesis; experiments configure it through
+:class:`SimulationConfig` and read results from node metrics and the
+network's cost counters. Everything is deterministic in ``config.seed``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.common.encoding import encode
+from repro.common.params import ProtocolParams, TEST_PARAMS
+from repro.crypto.backend import CryptoBackend, FastBackend
+from repro.crypto.hashing import H
+from repro.ledger.blockchain import Blockchain
+from repro.ledger.transaction import make_transaction
+from repro.network.gossip import GossipNetwork
+from repro.network.latency import LatencyModel, UniformLatencyModel
+from repro.node.agent import Node
+from repro.node.registry import BlockRegistry
+from repro.sim.loop import Environment
+
+
+@dataclass
+class SimulationConfig:
+    """Parameters of one simulated deployment."""
+
+    num_users: int = 20
+    params: ProtocolParams = field(default_factory=lambda: TEST_PARAMS)
+    seed: int = 0
+    #: Currency units per user ("equal share of money", section 10).
+    initial_balance: int = 10
+    #: Per-node uplink in bits/second; ``None`` disables bandwidth modeling.
+    bandwidth_bps: float | None = 20e6
+    #: "city" uses the 20-city WAN model; "uniform" a constant latency.
+    latency_model: str = "city"
+    uniform_latency: float = 0.05
+    peers_per_node: int = 4
+    #: Optional weight list overriding the equal distribution.
+    balances: list[int] | None = None
+    #: Number of Byzantine users (instantiated from the ``malicious_class``
+    #: passed to :class:`Simulation`); they occupy the highest indices so
+    #: index 0 is always an honest observer.
+    num_malicious: int = 0
+    #: Extra zero-stake nodes appended after the weighted users. They
+    #: exercise the paper's "passive participation" property (section 7):
+    #: BA* keeps no secrets, so anyone can count votes and reach the same
+    #: agreement decisions without ever being selected to speak.
+    num_observers: int = 0
+    #: Re-randomize every node's gossip peers after each round (§8.4:
+    #: "Algorand replaces gossip peers each round, which helps users
+    #: recover from being possibly disconnected").
+    reshuffle_peers_each_round: bool = False
+
+    def make_balances(self) -> list[int]:
+        if self.balances is not None:
+            if len(self.balances) != self.num_users:
+                raise ValueError("balances length must equal num_users")
+            return list(self.balances)
+        return [self.initial_balance] * self.num_users
+
+
+class Simulation:
+    """A fully wired deployment: env + network + nodes."""
+
+    def __init__(self, config: SimulationConfig,
+                 backend: CryptoBackend | None = None,
+                 node_class: type[Node] = Node,
+                 malicious_class: type[Node] | None = None) -> None:
+        self.config = config
+        self.env = Environment()
+        self.backend = backend if backend is not None else FastBackend()
+        self.rng = np.random.default_rng(config.seed)
+        self.genesis_seed = H(b"genesis", encode(config.seed))
+        self.registry = BlockRegistry()
+
+        total_nodes = config.num_users + config.num_observers
+        if config.latency_model == "city":
+            latency = LatencyModel(total_nodes, self.rng)
+        elif config.latency_model == "uniform":
+            latency = UniformLatencyModel(config.uniform_latency)
+        else:
+            raise ValueError(f"unknown latency model {config.latency_model}")
+        self.network = GossipNetwork(
+            self.env, total_nodes, self.rng, latency,
+            peers_per_node=config.peers_per_node,
+            bandwidth_bps=config.bandwidth_bps,
+        )
+
+        # Observers get keys but zero stake (appended after the users).
+        balances = config.make_balances() + [0] * config.num_observers
+        self.keypairs = [
+            self.backend.keypair(H(b"user-key", encode([config.seed, i])))
+            for i in range(total_nodes)
+        ]
+        initial_balances = {
+            kp.public: balance
+            for kp, balance in zip(self.keypairs, balances)
+            if balance > 0
+        }
+        if config.num_malicious and malicious_class is None:
+            raise ValueError(
+                "num_malicious > 0 requires a malicious_class")
+        first_malicious = config.num_users - config.num_malicious
+        self.nodes: list[Node] = []
+        for i in range(total_nodes):
+            chain = Blockchain(initial_balances, self.genesis_seed,
+                               config.params.seed_refresh_interval)
+            is_malicious = first_malicious <= i < config.num_users
+            cls = malicious_class if is_malicious else node_class
+            node = cls(
+                index=i, env=self.env, keypair=self.keypairs[i],
+                backend=self.backend, params=config.params, chain=chain,
+                interface=self.network.interfaces[i],
+                registry=self.registry,
+            )
+            self.nodes.append(node)
+        if config.reshuffle_peers_each_round:
+            self.nodes[0].on_commit = (
+                lambda round_number: self.network.reshuffle_peers())
+
+    @property
+    def observers(self) -> list[Node]:
+        """The zero-stake passive participants (may be empty)."""
+        if self.config.num_observers == 0:
+            return []
+        return self.nodes[-self.config.num_observers:]
+
+    # ------------------------------------------------------------------
+
+    def submit_payments(self, count: int, note_bytes: int = 0) -> None:
+        """Inject ``count`` random valid payments at round start.
+
+        Senders are drawn round-robin so nonces stay sequential; each
+        payment is gossiped from its sender's node.
+        """
+        nonces: dict[int, int] = {}
+        weighted = self.config.num_users  # observers neither pay nor earn
+        for k in range(count):
+            sender_index = k % weighted
+            sender = self.nodes[sender_index]
+            balance = sender.chain.state.balance(sender.keypair.public)
+            if balance < 1:
+                continue
+            recipient_index = int(self.rng.integers(weighted - 1))
+            if recipient_index >= sender_index:
+                recipient_index += 1
+            nonce = nonces.get(sender_index,
+                               sender.mempool.next_nonce_for(
+                                   sender.chain.state,
+                                   sender.keypair.public))
+            tx = make_transaction(
+                self.backend, sender.keypair.secret, sender.keypair.public,
+                self.nodes[recipient_index].keypair.public, 1, nonce,
+                note=bytes(note_bytes),
+            )
+            nonces[sender_index] = nonce + 1
+            sender.submit_transaction(tx)
+
+    def run_rounds(self, rounds: int, time_limit: float | None = None,
+                   max_events: int | None = None) -> None:
+        """Start every node and run until all reach ``rounds`` blocks."""
+        processes = [node.start(rounds) for node in self.nodes]
+        limit = time_limit
+        if limit is None:
+            # Generous per-round ceiling; hitting it is a test failure,
+            # not silent truncation.
+            per_round = (self.config.params.lambda_block
+                         + self.config.params.lambda_step
+                         * self.config.params.max_steps)
+            limit = per_round * (rounds + 1)
+        self.env.run(until=limit, max_events=max_events,
+                     stop_when=lambda: all(p.done for p in processes))
+        unfinished = [node.index for node, process in zip(self.nodes,
+                                                          processes)
+                      if not process.done]
+        if unfinished:
+            raise TimeoutError(
+                f"nodes {unfinished[:5]}... did not finish {rounds} rounds "
+                f"by t={limit}"
+            )
+
+    # ------------------------------------------------------------------
+    # Result accessors
+    # ------------------------------------------------------------------
+
+    def round_latencies(self, round_number: int) -> list[float]:
+        """Per-node completion time of ``round_number`` (seconds)."""
+        latencies = []
+        for node in self.nodes:
+            record = node.metrics.round_record(round_number)
+            if record is not None:
+                latencies.append(record.duration)
+        return latencies
+
+    def agreed_hashes(self, round_number: int) -> set[bytes]:
+        """Distinct block hashes committed at ``round_number`` (safety: 1)."""
+        return {
+            node.chain.block_at(round_number).block_hash
+            for node in self.nodes
+            if node.chain.height >= round_number
+        }
+
+    def all_chains_equal(self) -> bool:
+        reference = self.nodes[0].chain
+        return all(
+            node.chain.height == reference.height
+            and node.chain.tip_hash == reference.tip_hash
+            for node in self.nodes
+        )

@@ -1,0 +1,61 @@
+"""Statistical helpers shared by the figure/table runners."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """The five-number summary the paper's latency graphs plot
+    (min / 25th / median / 75th / max across users)."""
+
+    minimum: float
+    p25: float
+    median: float
+    p75: float
+    maximum: float
+    mean: float
+    count: int
+
+    @classmethod
+    def from_samples(cls, samples: list[float]) -> "LatencySummary":
+        if not samples:
+            raise ValueError("no samples")
+        data = np.asarray(samples, dtype=float)
+        return cls(
+            minimum=float(data.min()),
+            p25=float(np.percentile(data, 25)),
+            median=float(np.percentile(data, 50)),
+            p75=float(np.percentile(data, 75)),
+            maximum=float(data.max()),
+            mean=float(data.mean()),
+            count=len(samples),
+        )
+
+    def row(self) -> dict[str, float]:
+        return {
+            "min": round(self.minimum, 2),
+            "p25": round(self.p25, 2),
+            "median": round(self.median, 2),
+            "p75": round(self.p75, 2),
+            "max": round(self.maximum, 2),
+        }
+
+
+def format_table(headers: list[str], rows: list[list[object]]) -> str:
+    """Fixed-width ASCII table (benchmarks print these next to the
+    paper's numbers)."""
+    columns = [[str(h)] + [str(row[i]) for row in rows]
+               for i, h in enumerate(headers)]
+    widths = [max(len(cell) for cell in column) for column in columns]
+    lines = []
+    header_line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in rows:
+        lines.append("  ".join(str(cell).ljust(width)
+                               for cell, width in zip(row, widths)))
+    return "\n".join(lines)

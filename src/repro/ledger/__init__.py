@@ -1,0 +1,46 @@
+"""Ledger substrate: transactions, accounts, blocks, chains, storage."""
+
+from repro.ledger.account import AccountState
+from repro.ledger.block import (
+    Block,
+    empty_block,
+    empty_block_hash,
+    validate_block,
+)
+from repro.ledger.blockchain import GENESIS_PREV_HASH, Blockchain, make_genesis
+from repro.ledger.mempool import Mempool
+from repro.ledger.persistence import (
+    chain_from_bytes,
+    chain_to_bytes,
+    load_chain,
+    save_chain,
+)
+from repro.ledger.storage import (
+    PAPER_CERTIFICATE_BYTES,
+    ShardedStore,
+    shard_of_key,
+    stores_round,
+)
+from repro.ledger.transaction import Transaction, make_transaction
+
+__all__ = [
+    "AccountState",
+    "Block",
+    "empty_block",
+    "empty_block_hash",
+    "validate_block",
+    "Blockchain",
+    "make_genesis",
+    "GENESIS_PREV_HASH",
+    "Mempool",
+    "chain_to_bytes",
+    "chain_from_bytes",
+    "save_chain",
+    "load_chain",
+    "Transaction",
+    "make_transaction",
+    "ShardedStore",
+    "shard_of_key",
+    "stores_round",
+    "PAPER_CERTIFICATE_BYTES",
+]

@@ -1,0 +1,84 @@
+"""Account state: balances and nonces derived from the transaction log.
+
+The list of transactions in the chain "logically translates to a set of
+weights for each user's public key" (section 8.1). :class:`AccountState`
+is that translation: it applies blocks in order and exposes the weight
+table that sortition verification reads.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.common.errors import InvalidTransaction
+from repro.ledger.transaction import Transaction
+
+
+class AccountState:
+    """Mutable balances/nonces; one instance per chain tip per node."""
+
+    def __init__(self, balances: Mapping[bytes, int] | None = None) -> None:
+        self._balances: dict[bytes, int] = dict(balances or {})
+        for public, balance in self._balances.items():
+            if balance < 0:
+                raise ValueError(f"negative initial balance for {public.hex()}")
+        self._nonces: dict[bytes, int] = {}
+
+    def copy(self) -> "AccountState":
+        clone = AccountState()
+        clone._balances = dict(self._balances)
+        clone._nonces = dict(self._nonces)
+        return clone
+
+    def balance(self, public: bytes) -> int:
+        return self._balances.get(public, 0)
+
+    def next_nonce(self, public: bytes) -> int:
+        return self._nonces.get(public, 0)
+
+    @property
+    def total_weight(self) -> int:
+        """Total currency ``W`` — the sortition denominator."""
+        return sum(self._balances.values())
+
+    def weights(self) -> dict[bytes, int]:
+        """Snapshot of the weight table (public key -> currency units)."""
+        return dict(self._balances)
+
+    def check(self, tx: Transaction) -> None:
+        """Validate ``tx`` against current state (no signature check here).
+
+        Raises:
+            InvalidTransaction: on overspend or nonce mismatch.
+        """
+        tx.check_shape()
+        if tx.nonce != self.next_nonce(tx.sender):
+            raise InvalidTransaction(
+                f"nonce {tx.nonce} != expected {self.next_nonce(tx.sender)}"
+            )
+        if self.balance(tx.sender) < tx.amount:
+            raise InvalidTransaction(
+                f"overspend: balance {self.balance(tx.sender)} < {tx.amount}"
+            )
+
+    def apply(self, tx: Transaction) -> None:
+        """Apply a validated transaction; raises if it does not validate."""
+        self.check(tx)
+        self._balances[tx.sender] -= tx.amount
+        if self._balances[tx.sender] == 0:
+            del self._balances[tx.sender]
+        self._balances[tx.recipient] = self.balance(tx.recipient) + tx.amount
+        self._nonces[tx.sender] = tx.nonce + 1
+
+    def apply_all(self, transactions: Iterable[Transaction]) -> None:
+        for tx in transactions:
+            self.apply(tx)
+
+    def would_accept(self, transactions: Iterable[Transaction]) -> bool:
+        """Dry-run validity of a transaction sequence (used by validators)."""
+        trial = self.copy()
+        try:
+            trial.apply_all(transactions)
+        except InvalidTransaction:
+            return False
+        return True

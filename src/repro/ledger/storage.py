@@ -1,0 +1,77 @@
+"""Sharded block/certificate storage (section 8.3).
+
+"For N shards, users store blocks/certificates whose round number equals
+their public key modulo N." This module implements that assignment and the
+storage-cost accounting used by the section 10.3 cost experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ledger.block import Block
+
+#: Certificate size reported by the paper (section 10.3), bytes. Used when
+#: an experiment runs with abstract certificates; real certificates report
+#: their own measured size.
+PAPER_CERTIFICATE_BYTES = 300_000
+
+
+def shard_of_key(public: bytes, num_shards: int) -> int:
+    """Shard index for a public key (key interpreted as an integer)."""
+    if num_shards < 1:
+        raise ValueError("num_shards must be >= 1")
+    return int.from_bytes(public, "big") % num_shards
+
+
+def stores_round(public: bytes, round_number: int, num_shards: int) -> bool:
+    """Whether this user stores the block/certificate of ``round_number``."""
+    return round_number % num_shards == shard_of_key(public, num_shards)
+
+
+@dataclass
+class StorageAccount:
+    """Per-user storage accounting."""
+
+    blocks_stored: int = 0
+    block_bytes: int = 0
+    certificate_bytes: int = 0
+
+    @property
+    def total_bytes(self) -> int:
+        return self.block_bytes + self.certificate_bytes
+
+
+class ShardedStore:
+    """Tracks which user stores which rounds and at what byte cost."""
+
+    def __init__(self, num_shards: int) -> None:
+        if num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        self.num_shards = num_shards
+        self._accounts: dict[bytes, StorageAccount] = {}
+
+    def account(self, public: bytes) -> StorageAccount:
+        return self._accounts.setdefault(public, StorageAccount())
+
+    def record_block(self, public: bytes, block: Block,
+                     certificate_bytes: int = PAPER_CERTIFICATE_BYTES) -> bool:
+        """Charge this user for the round if it falls in their shard.
+
+        Returns True when the user stores the block.
+        """
+        if not stores_round(public, block.round_number, self.num_shards):
+            return False
+        account = self.account(public)
+        account.blocks_stored += 1
+        account.block_bytes += block.size
+        account.certificate_bytes += certificate_bytes
+        return True
+
+    def average_bytes_per_round(self, publics: list[bytes],
+                                rounds: int) -> float:
+        """Mean per-user storage per appended round, across ``publics``."""
+        if not publics or rounds == 0:
+            return 0.0
+        total = sum(self.account(pk).total_bytes for pk in publics)
+        return total / (len(publics) * rounds)

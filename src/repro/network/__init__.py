@@ -1,0 +1,36 @@
+"""Simulated gossip network: topology, latency model, message envelopes."""
+
+from repro.network.gossip import GossipNetwork, NetworkInterface
+from repro.network.latency import (
+    CITIES,
+    LatencyModel,
+    UniformLatencyModel,
+    base_latency_matrix,
+    great_circle_km,
+)
+from repro.network.message import (
+    Envelope,
+    PRIORITY_MESSAGE_BYTES,
+    VOTE_MESSAGE_BYTES,
+    block_envelope,
+    priority_envelope,
+    transaction_envelope,
+    vote_envelope,
+)
+
+__all__ = [
+    "GossipNetwork",
+    "NetworkInterface",
+    "LatencyModel",
+    "UniformLatencyModel",
+    "CITIES",
+    "base_latency_matrix",
+    "great_circle_km",
+    "Envelope",
+    "priority_envelope",
+    "block_envelope",
+    "vote_envelope",
+    "transaction_envelope",
+    "PRIORITY_MESSAGE_BYTES",
+    "VOTE_MESSAGE_BYTES",
+]

@@ -1,0 +1,201 @@
+"""Simulated gossip network (section 4 "Gossip protocol", section 8.4).
+
+Topology: every node selects ``peers_per_node`` random outgoing peers;
+links are bidirectional, so nodes end up with ~``2 * peers_per_node``
+neighbors (the paper: 4 selected, 8 on average). Messages propagate by
+store-and-forward flooding with duplicate suppression; nodes validate
+messages before relaying them (the relay decision is a callback supplied
+by the protocol layer, which implements the one-message-per-key-per-step
+rule of section 8.4).
+
+Costs: each node has an egress bandwidth cap; sending an ``s``-byte
+message to one neighbor occupies the sender's uplink for ``8 s / bw``
+seconds, then the message arrives after the pairwise one-way latency from
+the latency model. This reproduces both terms the paper's evaluation is
+sensitive to: per-hop latency and size-proportional block propagation.
+
+Adversarial control: a ``drop_filter`` hook inspects every (src, dst,
+envelope) and may drop it — partitions, targeted DoS, and message delays
+are built from this single mechanism (see :mod:`repro.adversary`).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Protocol
+
+import numpy as np
+
+from repro.common.errors import NetworkError
+from repro.network.message import Envelope
+from repro.sim.loop import Environment, Signal
+
+
+class SupportsLatency(Protocol):
+    def latency(self, src: int, dst: int) -> float: ...
+    def city_of(self, user_index: int) -> str: ...
+
+
+DropFilter = Callable[[int, int, Envelope], bool]
+RelayPolicy = Callable[[Envelope], bool]
+
+#: Messages at or below this size use the urgent egress lane (votes,
+#: priority announcements, transactions) and never wait behind blocks.
+URGENT_MESSAGE_BYTES = 1500
+
+
+class NetworkInterface:
+    """One node's attachment point to the gossip network."""
+
+    def __init__(self, network: "GossipNetwork", index: int) -> None:
+        self._network = network
+        self.index = index
+        self.neighbors: list[int] = []
+        self._seen: set[int] = set()
+        self.inbox: deque[Envelope] = deque()
+        self.receive_signal: Signal = network.env.signal()
+        #: Protocol-layer validation: called before relaying a received
+        #: message; return False to accept locally but not forward.
+        self.relay_policy: RelayPolicy = lambda envelope: True
+        self.disconnected = False
+        self.bytes_sent = 0
+        self.messages_sent = 0
+        # Two egress lanes: small control messages (votes, priorities)
+        # must not queue behind bulk block transfers — they ride separate
+        # TCP connections in the paper's prototype.
+        self._egress_urgent: deque[tuple[Envelope, int]] = deque()
+        self._egress_bulk: deque[tuple[Envelope, int]] = deque()
+        self._egress_signal = network.env.signal()
+        network.env.process(self._egress_loop(), f"egress-{index}")
+
+    # --- Sending ----------------------------------------------------------
+
+    def broadcast(self, envelope: Envelope) -> None:
+        """Originate a message: mark as seen and send to all neighbors."""
+        self._seen.add(envelope.msg_id)
+        self._send_to_neighbors(envelope, exclude=None)
+
+    def send_to(self, envelope: Envelope, targets: list[int]) -> None:
+        """Originate a message to a *subset* of neighbors.
+
+        Honest nodes never need this; adversarial strategies use it to
+        show different messages to different peers (e.g. the equivocating
+        proposer of section 10.4).
+        """
+        self._seen.add(envelope.msg_id)
+        if self.disconnected:
+            return
+        lane = self._lane_for(envelope)
+        for target in targets:
+            if target not in self.neighbors:
+                raise NetworkError(f"{target} is not a neighbor of "
+                                   f"{self.index}")
+            lane.append((envelope, target))
+        self._egress_signal.pulse()
+
+    def _lane_for(self, envelope: Envelope) -> deque[tuple[Envelope, int]]:
+        if envelope.size <= URGENT_MESSAGE_BYTES:
+            return self._egress_urgent
+        return self._egress_bulk
+
+    def _send_to_neighbors(self, envelope: Envelope,
+                           exclude: int | None) -> None:
+        if self.disconnected:
+            return
+        lane = self._lane_for(envelope)
+        for neighbor in self.neighbors:
+            if neighbor != exclude:
+                lane.append((envelope, neighbor))
+        self._egress_signal.pulse()
+
+    def _egress_loop(self):
+        env = self._network.env
+        bandwidth = self._network.bandwidth_bps
+        while True:
+            while self._egress_urgent or self._egress_bulk:
+                if self._egress_urgent:
+                    envelope, dst = self._egress_urgent.popleft()
+                else:
+                    envelope, dst = self._egress_bulk.popleft()
+                if bandwidth is not None:
+                    yield env.timeout(envelope.size * 8.0 / bandwidth)
+                self.bytes_sent += envelope.size
+                self.messages_sent += 1
+                self._network._transmit(self.index, dst, envelope)
+            yield self._egress_signal.next_event()
+
+    # --- Receiving --------------------------------------------------------
+
+    def _deliver(self, envelope: Envelope, from_index: int) -> None:
+        if self.disconnected or envelope.msg_id in self._seen:
+            return
+        self._seen.add(envelope.msg_id)
+        self.inbox.append(envelope)
+        self.receive_signal.pulse()
+        if self.relay_policy(envelope):
+            self._send_to_neighbors(envelope, exclude=from_index)
+
+
+class GossipNetwork:
+    """The full peer-to-peer fabric."""
+
+    def __init__(self, env: Environment, num_nodes: int,
+                 rng: np.random.Generator, latency_model: SupportsLatency,
+                 peers_per_node: int = 4,
+                 bandwidth_bps: float | None = 20e6) -> None:
+        if num_nodes < 2:
+            raise NetworkError("gossip network needs at least 2 nodes")
+        if peers_per_node < 1:
+            raise NetworkError("peers_per_node must be >= 1")
+        self.env = env
+        self.rng = rng
+        self.latency_model = latency_model
+        self.peers_per_node = peers_per_node
+        self.bandwidth_bps = bandwidth_bps
+        self.drop_filter: DropFilter | None = None
+        self.messages_delivered = 0
+        self.interfaces = [NetworkInterface(self, i)
+                           for i in range(num_nodes)]
+        self.reshuffle_peers()
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.interfaces)
+
+    def reshuffle_peers(self) -> None:
+        """(Re)build the random peer graph (paper: new peers each round)."""
+        n = self.num_nodes
+        adjacency: list[set[int]] = [set() for _ in range(n)]
+        k = min(self.peers_per_node, n - 1)
+        for node in range(n):
+            peers = self.rng.choice(n - 1, size=k, replace=False)
+            for peer in peers:
+                # Map [0, n-2] onto all indices except `node`.
+                target = int(peer) + (1 if peer >= node else 0)
+                adjacency[node].add(target)
+                adjacency[target].add(node)
+        for node in range(n):
+            self.interfaces[node].neighbors = sorted(adjacency[node])
+
+    def _transmit(self, src: int, dst: int, envelope: Envelope) -> None:
+        if self.drop_filter is not None and self.drop_filter(src, dst,
+                                                             envelope):
+            return
+        delay = self.latency_model.latency(src, dst)
+        self.env.schedule(
+            delay,
+            lambda: self._arrive(src, dst, envelope),
+        )
+
+    def _arrive(self, src: int, dst: int, envelope: Envelope) -> None:
+        self.messages_delivered += 1
+        self.interfaces[dst]._deliver(envelope, src)
+
+    # --- Cost accounting ----------------------------------------------
+
+    @property
+    def total_bytes_sent(self) -> int:
+        return sum(iface.bytes_sent for iface in self.interfaces)
+
+    def bytes_sent_per_node(self) -> list[int]:
+        return [iface.bytes_sent for iface in self.interfaces]

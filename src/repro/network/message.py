@@ -1,0 +1,57 @@
+"""Gossip message envelopes.
+
+The network layer treats protocol payloads as opaque; an envelope carries
+the routing metadata it needs: a unique id (for duplicate suppression), the
+originator's public key, a message kind (so relay policies can rate-limit
+per kind), and the wire size in bytes (driving bandwidth costs).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+#: Wire size of a priority/proof gossip message ("about 200 bytes", §6).
+PRIORITY_MESSAGE_BYTES = 200
+#: Wire size of a committee vote (pk + sig + sortition hash/proof + value).
+VOTE_MESSAGE_BYTES = 250
+
+_id_counter = itertools.count()
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """One gossiped message."""
+
+    origin: bytes
+    kind: str
+    payload: Any
+    size: int
+    msg_id: int = field(default_factory=lambda: next(_id_counter))
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError(f"message size must be positive, got {self.size}")
+
+
+def priority_envelope(origin: bytes, payload: Any) -> Envelope:
+    """Envelope for a block-proposal priority message (small, fast)."""
+    return Envelope(origin=origin, kind="priority", payload=payload,
+                    size=PRIORITY_MESSAGE_BYTES)
+
+
+def block_envelope(origin: bytes, payload: Any, size: int) -> Envelope:
+    """Envelope for a full proposed block."""
+    return Envelope(origin=origin, kind="block", payload=payload, size=size)
+
+
+def vote_envelope(origin: bytes, payload: Any) -> Envelope:
+    """Envelope for a BA* committee vote."""
+    return Envelope(origin=origin, kind="vote", payload=payload,
+                    size=VOTE_MESSAGE_BYTES)
+
+
+def transaction_envelope(origin: bytes, payload: Any, size: int) -> Envelope:
+    """Envelope for a user-submitted pending transaction."""
+    return Envelope(origin=origin, kind="tx", payload=payload, size=size)

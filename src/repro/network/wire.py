@@ -1,0 +1,156 @@
+"""Wire format: byte encodings for every protocol message.
+
+The simulator moves Python objects and charges bandwidth using calibrated
+size constants (matching the paper's reported ~200-byte priority messages
+and ~250-byte votes). This module provides the real, deterministic byte
+encodings a deployment would put on the wire — used for (a) size-constant
+calibration tests, (b) persisting chains, and (c) hashing/signing
+consistency guarantees (everything routes through the canonical codec).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.baplus.certificate import Certificate
+from repro.baplus.messages import VoteMessage
+from repro.common.encoding import decode, encode
+from repro.common.errors import ReproError
+from repro.ledger.block import Block
+from repro.ledger.transaction import Transaction
+from repro.node.proposal import PriorityMessage
+
+
+class WireError(ReproError):
+    """A wire payload could not be decoded."""
+
+
+def _expect(data: Any, tag: str) -> list:
+    if not isinstance(data, list) or not data or data[0] != tag:
+        raise WireError(f"expected {tag!r} payload")
+    return data
+
+
+# --- Transactions ---------------------------------------------------------
+
+def encode_transaction(tx: Transaction) -> bytes:
+    return encode(["wtx", tx.sender, tx.recipient, tx.amount, tx.nonce,
+                   tx.note, tx.signature])
+
+
+def decode_transaction(data: bytes) -> Transaction:
+    try:
+        fields = _expect(decode(data), "wtx")
+        _, sender, recipient, amount, nonce, note, signature = fields
+        return Transaction(sender=sender, recipient=recipient,
+                           amount=amount, nonce=nonce, note=note,
+                           signature=signature)
+    except (ValueError, TypeError) as exc:
+        raise WireError(f"bad transaction payload: {exc}") from exc
+
+
+# --- Votes ----------------------------------------------------------------
+
+def encode_vote(vote: VoteMessage) -> bytes:
+    return encode(["wvote", vote.voter, vote.round_number, vote.step,
+                   vote.sorthash, vote.sortproof, vote.prev_hash,
+                   vote.value, vote.signature])
+
+
+def decode_vote(data: bytes) -> VoteMessage:
+    try:
+        fields = _expect(decode(data), "wvote")
+        (_, voter, round_number, step, sorthash, sortproof, prev_hash,
+         value, signature) = fields
+        return VoteMessage(voter=voter, round_number=round_number,
+                           step=step, sorthash=sorthash,
+                           sortproof=sortproof, prev_hash=prev_hash,
+                           value=value, signature=signature)
+    except (ValueError, TypeError) as exc:
+        raise WireError(f"bad vote payload: {exc}") from exc
+
+
+# --- Priority announcements -------------------------------------------------
+
+def encode_priority(message: PriorityMessage) -> bytes:
+    return encode(["wprio", message.proposer, message.round_number,
+                   message.vrf_hash, message.vrf_proof,
+                   message.sub_users, message.priority])
+
+
+def decode_priority(data: bytes) -> PriorityMessage:
+    try:
+        fields = _expect(decode(data), "wprio")
+        _, proposer, round_number, vrf_hash, vrf_proof, sub_users, priority = fields
+        return PriorityMessage(proposer=proposer,
+                               round_number=round_number,
+                               vrf_hash=vrf_hash, vrf_proof=vrf_proof,
+                               sub_users=sub_users, priority=priority)
+    except (ValueError, TypeError) as exc:
+        raise WireError(f"bad priority payload: {exc}") from exc
+
+
+# --- Blocks -----------------------------------------------------------------
+
+def encode_block(block: Block) -> bytes:
+    return encode([
+        "wblock", block.round_number, block.prev_hash, block.timestamp,
+        block.seed, block.seed_proof, block.proposer,
+        block.proposer_vrf_hash, block.proposer_vrf_proof,
+        block.proposer_priority,
+        [encode_transaction(tx) for tx in block.transactions],
+    ])
+
+
+def decode_block(data: bytes) -> Block:
+    try:
+        fields = _expect(decode(data), "wblock")
+        (_, round_number, prev_hash, timestamp, seed, seed_proof,
+         proposer, vrf_hash, vrf_proof, priority, raw_txs) = fields
+        return Block(
+            round_number=round_number, prev_hash=prev_hash,
+            timestamp=timestamp, seed=seed, seed_proof=seed_proof,
+            proposer=proposer, proposer_vrf_hash=vrf_hash,
+            proposer_vrf_proof=vrf_proof, proposer_priority=priority,
+            transactions=tuple(decode_transaction(raw) for raw in raw_txs),
+        )
+    except (ValueError, TypeError) as exc:
+        raise WireError(f"bad block payload: {exc}") from exc
+
+
+# --- Certificates -----------------------------------------------------------
+
+def encode_certificate(certificate: Certificate) -> bytes:
+    return encode([
+        "wcert", certificate.round_number, certificate.step,
+        certificate.value,
+        [encode_vote(vote) for vote in certificate.votes],
+    ])
+
+
+def decode_certificate(data: bytes) -> Certificate:
+    try:
+        fields = _expect(decode(data), "wcert")
+        _, round_number, step, value, raw_votes = fields
+        return Certificate(
+            round_number=round_number, step=step, value=value,
+            votes=tuple(decode_vote(raw) for raw in raw_votes),
+        )
+    except (ValueError, TypeError) as exc:
+        raise WireError(f"bad certificate payload: {exc}") from exc
+
+
+def wire_size(obj: Transaction | VoteMessage | PriorityMessage | Block
+              | Certificate) -> int:
+    """Exact encoded size of any protocol message."""
+    if isinstance(obj, Transaction):
+        return len(encode_transaction(obj))
+    if isinstance(obj, VoteMessage):
+        return len(encode_vote(obj))
+    if isinstance(obj, PriorityMessage):
+        return len(encode_priority(obj))
+    if isinstance(obj, Block):
+        return len(encode_block(obj))
+    if isinstance(obj, Certificate):
+        return len(encode_certificate(obj))
+    raise TypeError(f"no wire format for {type(obj).__name__}")

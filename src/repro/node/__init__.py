@@ -1,0 +1,40 @@
+"""The Algorand user agent: proposal, round loop, recovery, catch-up."""
+
+from repro.node.agent import Node
+from repro.node.catchup import catch_up_from, replay_chain, verify_final_safety
+from repro.node.recovery import (
+    ForkProposal,
+    RecoveryDaemon,
+    RecoverySession,
+    attach_recovery_daemons,
+    run_recovery,
+)
+from repro.node.metrics import NodeMetrics, RoundRecord
+from repro.node.proposal import (
+    PriorityMessage,
+    ProposalTracker,
+    block_priority,
+    make_priority_message,
+    priority_of_subuser,
+)
+from repro.node.registry import BlockRegistry
+
+__all__ = [
+    "Node",
+    "NodeMetrics",
+    "RoundRecord",
+    "PriorityMessage",
+    "ProposalTracker",
+    "block_priority",
+    "priority_of_subuser",
+    "make_priority_message",
+    "BlockRegistry",
+    "replay_chain",
+    "catch_up_from",
+    "verify_final_safety",
+    "ForkProposal",
+    "RecoverySession",
+    "RecoveryDaemon",
+    "attach_recovery_daemons",
+    "run_recovery",
+]

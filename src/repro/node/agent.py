@@ -1,0 +1,480 @@
+"""The Algorand user agent (sections 4, 6 and 8).
+
+A :class:`Node` owns one user's key pair, chain replica, mempool, and
+gossip attachment, and runs the round loop:
+
+1. **Proposal** — run proposer sortition; if selected, assemble a block
+   from the mempool and gossip the priority announcement plus the block.
+2. **Wait** — sleep ``lambda_priority + lambda_stepvar`` to learn the
+   highest-priority proposer, then wait (up to ``lambda_block``) for that
+   proposer's block; fall back to the empty block.
+3. **Agree** — run BA* (reduction, BinaryBA*, final-vote count) on the
+   chosen block hash.
+4. **Commit** — resolve the agreed hash to a block, build a certificate,
+   append to the chain, prune the mempool.
+
+All incoming gossip is handled synchronously in the relay-policy callback
+(validate-before-relay, section 8.4); BA* consumes votes from the node's
+:class:`~repro.baplus.buffer.VoteBuffer`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.baplus.buffer import VoteBuffer
+from repro.baplus.certificate import Certificate, build_certificate
+from repro.baplus.context import BAContext
+from repro.baplus.messages import VoteMessage
+from repro.baplus.protocol import (
+    FINAL,
+    TENTATIVE,
+    binary_ba_star,
+    reduction,
+)
+from repro.baplus.voting import BAParticipant, TIMEOUT, count_votes
+from repro.common.errors import ConsensusHalted, InvalidBlock
+from repro.common.params import ProtocolParams
+from repro.crypto.backend import CryptoBackend, KeyPair
+from repro.ledger.block import Block, empty_block, empty_block_hash, validate_block
+from repro.ledger.blockchain import Blockchain
+from repro.ledger.mempool import Mempool
+from repro.ledger.transaction import Transaction
+from repro.network.gossip import NetworkInterface
+from repro.network.message import (
+    Envelope,
+    block_envelope,
+    priority_envelope,
+    transaction_envelope,
+    vote_envelope,
+)
+from repro.node.metrics import NodeMetrics, RoundRecord
+from repro.node.proposal import (
+    PriorityMessage,
+    ProposalTracker,
+    block_priority,
+    make_priority_message,
+)
+from repro.node.registry import BlockRegistry
+from repro.sim.loop import Environment, Process
+from repro.sortition.roles import FINAL_STEP, proposer_role
+from repro.sortition.seed import fallback_seed, propose_seed, verify_seed
+from repro.sortition.selection import sortition
+
+
+class Node:
+    """One Algorand user: chain replica + gossip peer + BA* participant."""
+
+    def __init__(self, *, index: int, env: Environment, keypair: KeyPair,
+                 backend: CryptoBackend, params: ProtocolParams,
+                 chain: Blockchain, interface: NetworkInterface,
+                 registry: BlockRegistry) -> None:
+        self.index = index
+        self.env = env
+        self.keypair = keypair
+        self.backend = backend
+        self.params = params
+        self.chain = chain
+        self.interface = interface
+        self.registry = registry
+        self.buffer = VoteBuffer(env)
+        self.mempool = Mempool()
+        self.metrics = NodeMetrics()
+        self.halted = False
+        self.participant = BAParticipant(
+            env=env, params=params, backend=backend, buffer=self.buffer,
+            keypair=keypair, gossip_vote=self._gossip_vote,
+            step_observer=self._observe_step,
+        )
+        self._trackers: dict[int, ProposalTracker] = {}
+        self._seen_votes: set[tuple[bytes, int, str]] = set()
+        self._seen_priorities: set[tuple[bytes, int]] = set()
+        self._round_process: Process | None = None
+        #: Extra message handlers (kind -> callable(payload) -> relay?);
+        #: the recovery protocol registers its fork-proposal handler here.
+        self.extra_handlers: dict[str, Callable[[object], bool]] = {}
+        #: Optional hook called with the round number after each commit
+        #: (used e.g. to reshuffle gossip peers each round, section 8.4).
+        self.on_commit: Callable[[int], None] | None = None
+        #: Fork monitor (section 8.2): votes binding to a previous-block
+        #: hash we do not recognize reveal that their sender follows a
+        #: different chain. Maps foreign prev_hash -> count seen.
+        self.fork_monitor: dict[bytes, int] = {}
+        interface.relay_policy = self.handle_envelope
+
+    # ------------------------------------------------------------------
+    # Gossip handling (synchronous, validate-before-relay)
+    # ------------------------------------------------------------------
+
+    def handle_envelope(self, envelope: Envelope) -> bool:
+        """Process one received message; return True to relay it."""
+        kind = envelope.kind
+        if kind == "vote":
+            return self._handle_vote(envelope.payload)
+        if kind == "priority":
+            return self._handle_priority(envelope.payload)
+        if kind == "block":
+            return self._handle_block(envelope.payload)
+        if kind == "tx":
+            return self._handle_transaction(envelope.payload)
+        handler = self.extra_handlers.get(kind)
+        if handler is not None:
+            return handler(envelope.payload)
+        return False
+
+    def _handle_vote(self, vote: VoteMessage) -> bool:
+        key = (vote.voter, vote.round_number, vote.step)
+        if key in self._seen_votes:
+            # At most one relayed message per key per (round, step), §8.4.
+            return False
+        # With pipelining, the previous round's final-vote count is still
+        # live after commit; keep accepting its votes (one-round grace).
+        stale_horizon = self.chain.next_round
+        if self.params.pipeline_final_step:
+            stale_horizon -= 1
+        if vote.round_number < stale_horizon:
+            return False  # stale round
+        if not vote.verify_signature(self.backend):
+            return False
+        if (vote.prev_hash != self.chain.tip_hash
+                and vote.round_number == self.chain.next_round):
+            # A current-round vote extending a chain we don't hold:
+            # evidence of a fork (section 8.2's passive monitoring).
+            self.fork_monitor[vote.prev_hash] = (
+                self.fork_monitor.get(vote.prev_hash, 0) + 1)
+        self._seen_votes.add(key)
+        self.buffer.add(vote)
+        return True
+
+    def _handle_priority(self, message: PriorityMessage) -> bool:
+        if message.round_number < self.chain.next_round:
+            return False
+        key = (message.proposer, message.round_number)
+        if key in self._seen_priorities:
+            return False
+        if message.round_number == self.chain.next_round:
+            # We can fully validate against the current context.
+            ctx = self._current_context(message.round_number)
+            if not message.verify(
+                    self.backend, ctx.seed, self.params.tau_proposer,
+                    ctx.weight_of(message.proposer), ctx.total_weight):
+                return False
+        self._seen_priorities.add(key)
+        tracker = self._tracker(message.round_number)
+        tracker.observe_priority(message, self.env)
+        return True
+
+    def _handle_block(self, block: Block) -> bool:
+        if block.round_number < self.chain.next_round:
+            return False
+        tracker = self._tracker(block.round_number)
+        return tracker.observe_block(block, self.env)
+
+    def _handle_transaction(self, tx: Transaction) -> bool:
+        try:
+            tx.check_shape()
+            tx.verify_signature(self.backend)
+        except Exception:
+            return False
+        return self.mempool.add(tx)
+
+    def _gossip_vote(self, vote: VoteMessage) -> None:
+        self._seen_votes.add((vote.voter, vote.round_number, vote.step))
+        self.buffer.add(vote)  # count our own vote
+        self.interface.broadcast(vote_envelope(self.keypair.public, vote))
+
+    def _observe_step(self, round_number: int, step: str, seconds: float,
+                      timed_out: bool) -> None:
+        if not timed_out:
+            self.metrics.record_step(round_number, step, seconds)
+
+    # ------------------------------------------------------------------
+    # Local API
+    # ------------------------------------------------------------------
+
+    def submit_transaction(self, tx: Transaction) -> None:
+        """Inject a locally originated transaction and gossip it."""
+        if self.mempool.add(tx):
+            self.interface.broadcast(
+                transaction_envelope(self.keypair.public, tx, tx.size))
+
+    def start(self, target_height: int) -> Process:
+        """Run rounds until the chain reaches ``target_height`` blocks."""
+        self._round_process = self.env.process(
+            self._round_loop(target_height), f"node-{self.index}")
+        return self._round_process
+
+    # ------------------------------------------------------------------
+    # Round loop
+    # ------------------------------------------------------------------
+
+    def _tracker(self, round_number: int) -> ProposalTracker:
+        if round_number not in self._trackers:
+            self._trackers[round_number] = ProposalTracker(round_number)
+        return self._trackers[round_number]
+
+    def _current_context(self, round_number: int) -> BAContext:
+        return BAContext.from_weights(
+            seed=self.chain.selection_seed(round_number),
+            weights=self._sortition_weights(round_number),
+            last_block_hash=self.chain.tip_hash,
+        )
+
+    def _sortition_weights(self, round_number: int) -> dict[bytes, int]:
+        """Weight table for sortition at ``round_number`` (section 5.3).
+
+        With ``weight_lookback_rounds == 0`` this is the current table;
+        otherwise the snapshot from ``lookback`` rounds ago, optionally
+        floored by current balances (``lookback_take_min``, the paper's
+        nothing-at-stake mitigation).
+        """
+        lookback = self.params.weight_lookback_rounds
+        if lookback == 0:
+            return self.chain.state.weights()
+        reference = max(0, round_number - 1 - lookback)
+        weights = self.chain.weights_at(reference)
+        if self.params.lookback_take_min:
+            current = self.chain.state.weights()
+            weights = {
+                public: min(balance, current.get(public, 0))
+                for public, balance in weights.items()
+            }
+            weights = {public: balance
+                       for public, balance in weights.items() if balance}
+        return weights
+
+    def _round_loop(self, target_height: int):
+        while self.chain.height < target_height and not self.halted:
+            try:
+                yield from self.run_one_round()
+            except ConsensusHalted:
+                self.halted = True
+
+    def run_one_round(self):
+        """Execute one full round; generator driven by the event loop."""
+        round_number = self.chain.next_round
+        start = self.env.now
+        ctx = self._current_context(round_number)
+        tracker = self._tracker(round_number)
+
+        proof = sortition(
+            self.backend, self.keypair.secret, ctx.seed,
+            self.params.tau_proposer, proposer_role(round_number),
+            ctx.weight_of(self.keypair.public), ctx.total_weight,
+        )
+        if proof.j > 0:
+            self.propose_block(round_number, ctx, proof, tracker)
+
+        hblock = yield from self._wait_for_proposal(round_number, ctx,
+                                                    tracker)
+        proposal_done = self.env.now
+
+        reduced = yield from reduction(self.participant, ctx, round_number,
+                                       hblock)
+        binary = yield from binary_ba_star(self.participant, ctx,
+                                           round_number, reduced)
+        ba_done = self.env.now
+        if self.params.pipeline_final_step:
+            # Section 10.2 optimization: commit now, count final votes
+            # concurrently with the next round; the kind is patched into
+            # the metrics record when the count lands.
+            self.env.process(
+                self._pipelined_final(ctx, round_number, binary.value),
+                f"final-{self.index}-{round_number}")
+            kind = TENTATIVE
+        else:
+            final_vote = yield from count_votes(
+                self.participant, ctx, round_number, FINAL_STEP,
+                self.params.t_final, self.params.tau_final,
+                self.params.lambda_step,
+            )
+            kind = (FINAL if final_vote is not TIMEOUT
+                    and final_vote == binary.value else TENTATIVE)
+        end = self.env.now
+
+        block = self._resolve_block(round_number, ctx, binary.value, tracker)
+        certificate = build_certificate(
+            self.buffer, ctx, self.backend, self.params, round_number,
+            str(binary.deciding_step), binary.value,
+        )
+        self._commit(round_number, ctx, block, certificate)
+        if kind == FINAL:
+            # Safety certificate (section 8.3): the final-step votes
+            # alone prove this block (and its whole prefix) is final.
+            final_certificate = build_certificate(
+                self.buffer, ctx, self.backend, self.params, round_number,
+                FINAL_STEP, binary.value,
+            )
+            if final_certificate is not None:
+                self.chain.set_final_certificate(round_number,
+                                                 final_certificate)
+        self.metrics.record_round(RoundRecord(
+            round_number=round_number,
+            start_time=start,
+            proposal_done_time=proposal_done,
+            ba_done_time=ba_done,
+            end_time=end,
+            kind=kind,
+            block_hash=block.block_hash,
+            is_empty=block.is_empty,
+            payload_bytes=block.payload_size,
+            binary_steps=binary.deciding_step,
+        ))
+        self._prune(round_number)
+
+    def _pipelined_final(self, ctx: BAContext, round_number: int,
+                         agreed_value: bytes):
+        """Background final-vote count for a pipelined round."""
+        final_vote = yield from count_votes(
+            self.participant, ctx, round_number, FINAL_STEP,
+            self.params.t_final, self.params.tau_final,
+            self.params.lambda_step,
+        )
+        if final_vote is not TIMEOUT and final_vote == agreed_value:
+            self.metrics.finalize_kind(round_number, FINAL)
+            final_certificate = build_certificate(
+                self.buffer, ctx, self.backend, self.params, round_number,
+                FINAL_STEP, agreed_value,
+            )
+            if final_certificate is not None:
+                self.chain.set_final_certificate(round_number,
+                                                 final_certificate)
+
+    # --- Proposal ----------------------------------------------------
+
+    def propose_block(self, round_number: int, ctx: BAContext, proof,
+                      tracker: ProposalTracker) -> None:
+        """Assemble, register, and gossip this node's proposal.
+
+        Overridden by adversarial nodes (e.g. equivocating proposers).
+        """
+        block = self.assemble_block(round_number, proof)
+        self.registry.register(block)
+        announcement = make_priority_message(self.keypair.public,
+                                             round_number, proof)
+        self._seen_priorities.add((self.keypair.public, round_number))
+        tracker.observe_priority(announcement, self.env)
+        tracker.observe_block(block, self.env)
+        self.interface.broadcast(
+            priority_envelope(self.keypair.public, announcement))
+        self.interface.broadcast(
+            block_envelope(self.keypair.public, block, block.size))
+
+    def assemble_block(self, round_number: int, proof) -> Block:
+        """Build a block of pending transactions for this round."""
+        transactions = tuple(self.mempool.assemble(self.chain.state,
+                                                   self.params.block_size))
+        previous_seed = self.chain.seed_of_round(round_number - 1)
+        seed, seed_proof = propose_seed(self.backend, self.keypair.secret,
+                                        previous_seed, round_number)
+        return Block(
+            round_number=round_number,
+            prev_hash=self.chain.tip_hash,
+            timestamp=self.env.now,
+            seed=seed,
+            seed_proof=seed_proof,
+            proposer=self.keypair.public,
+            proposer_vrf_hash=proof.vrf_hash,
+            proposer_vrf_proof=proof.vrf_proof,
+            proposer_priority=block_priority(proof.vrf_hash, proof.j),
+            transactions=transactions,
+        )
+
+    def _wait_for_proposal(self, round_number: int, ctx: BAContext,
+                           tracker: ProposalTracker):
+        """Sections 6: wait for priorities, then for the winning block.
+
+        Returns the hash BA* should start from: the highest-priority valid
+        block if it arrives in time, else the empty-block hash.
+        """
+        params = self.params
+        yield self.env.timeout(params.lambda_stepvar + params.lambda_priority)
+        empty_hash = empty_block_hash(round_number, ctx.last_block_hash)
+        deadline = self.env.now + params.lambda_block
+        priority_signal, block_signal = tracker.signals(self.env)
+        while True:
+            best = tracker.best_priority
+            if best is not None:
+                block = tracker.best_block()
+                if block is not None:
+                    if self._validate_proposal(round_number, ctx, best,
+                                               block):
+                        return block.block_hash
+                    #
+
+                    # Invalid block from the winning proposer: treat the
+                    # round's proposal as empty (section 8.1).
+                    return empty_hash
+            remaining = deadline - self.env.now
+            if remaining <= 0:
+                return empty_hash
+            yield self.env.any_of([
+                priority_signal.next_event(),
+                block_signal.next_event(),
+                self.env.timeout(remaining),
+            ])
+
+    def _validate_proposal(self, round_number: int, ctx: BAContext,
+                           announcement: PriorityMessage,
+                           block: Block) -> bool:
+        if not announcement.verify(
+                self.backend, ctx.seed, self.params.tau_proposer,
+                ctx.weight_of(announcement.proposer), ctx.total_weight):
+            return False
+        try:
+            validate_block(
+                block, backend=self.backend, state=self.chain.state,
+                prev_hash=self.chain.tip_hash, round_number=round_number,
+                prev_timestamp=self.chain.last_nonempty_timestamp(),
+                now=self.env.now,
+            )
+        except InvalidBlock:
+            return False
+        return verify_seed(
+            self.backend, block.proposer, block.seed, block.seed_proof,
+            self.chain.seed_of_round(round_number - 1), round_number,
+        )
+
+    # --- Commit --------------------------------------------------------
+
+    def _resolve_block(self, round_number: int, ctx: BAContext,
+                       block_hash: bytes,
+                       tracker: ProposalTracker) -> Block:
+        """Algorithm 3's ``BlockOfHash``: hash -> block."""
+        if block_hash == empty_block_hash(round_number, ctx.last_block_hash):
+            return empty_block(round_number, ctx.last_block_hash)
+        block = tracker.blocks.get(block_hash)
+        if block is None:
+            block = self.registry.fetch(block_hash)
+        return block
+
+    def _commit(self, round_number: int, ctx: BAContext, block: Block,
+                certificate: Certificate | None) -> None:
+        seed_override = None
+        if block.is_empty:
+            seed_override = fallback_seed(
+                self.chain.seed_of_round(round_number - 1), round_number)
+        elif not verify_seed(
+                self.backend, block.proposer, block.seed, block.seed_proof,
+                self.chain.seed_of_round(round_number - 1), round_number):
+            seed_override = fallback_seed(
+                self.chain.seed_of_round(round_number - 1), round_number)
+        self.chain.append(block, certificate, seed_override=seed_override)
+        self.mempool.prune_committed(block.transactions, self.chain.state)
+        if self.on_commit is not None:
+            self.on_commit(round_number)
+
+    def _prune(self, completed_round: int) -> None:
+        """Drop per-round state older than the previous round."""
+        # With pipelining, the previous round's final-vote count may
+        # still be consuming its buffer bucket; keep one extra round.
+        horizon = completed_round
+        if self.params.pipeline_final_step:
+            horizon -= 1
+        self.buffer.prune_before(horizon)
+        for round_number in [r for r in self._trackers if r < horizon]:
+            del self._trackers[round_number]
+        self._seen_votes = {key for key in self._seen_votes
+                            if key[1] >= horizon}
+        self._seen_priorities = {key for key in self._seen_priorities
+                                 if key[1] >= horizon}

@@ -1,0 +1,136 @@
+"""Bootstrapping new users (section 8.3).
+
+A joining user downloads the block history with its certificates and
+validates everything *in order* starting from the genesis block: the
+weights used to check round ``r``'s certificate come from the state after
+round ``r - 1``, and the sortition seed comes from the replayed seed
+chain. Final blocks are totally ordered, so checking safety needs only
+the most recent final certificate.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.baplus.certificate import Certificate, verify_certificate
+from repro.baplus.context import BAContext
+from repro.common.errors import InvalidCertificate, LedgerError
+from repro.common.params import ProtocolParams
+from repro.crypto.backend import CryptoBackend
+from repro.ledger.block import Block
+from repro.ledger.blockchain import Blockchain
+from repro.sortition.seed import fallback_seed, verify_seed
+
+
+def replay_chain(blocks: Iterable[Block],
+                 certificates: Mapping[int, Certificate],
+                 *, initial_balances: Mapping[bytes, int],
+                 genesis_seed: bytes, params: ProtocolParams,
+                 backend: CryptoBackend) -> Blockchain:
+    """Validate a downloaded history and return the reconstructed chain.
+
+    Args:
+        blocks: the chain's blocks for rounds ``1..n``, in order.
+        certificates: one certificate per round (at minimum for every
+            round being trusted; a missing certificate fails validation).
+
+    Raises:
+        InvalidCertificate: if any round's certificate does not verify
+            against the replayed context.
+        LedgerError: if blocks do not link or transactions do not apply.
+    """
+    chain = Blockchain(initial_balances, genesis_seed,
+                       params.seed_refresh_interval)
+    for block in blocks:
+        round_number = chain.next_round
+        if block.round_number != round_number:
+            raise LedgerError(
+                f"history out of order: got round {block.round_number}, "
+                f"expected {round_number}"
+            )
+        certificate = certificates.get(round_number)
+        if certificate is None:
+            raise InvalidCertificate(f"no certificate for round "
+                                     f"{round_number}")
+        if certificate.value != block.block_hash:
+            raise InvalidCertificate(
+                f"round {round_number}: certificate certifies a different "
+                f"block"
+            )
+        ctx = BAContext.from_weights(
+            chain.selection_seed(round_number),
+            chain.state.weights(), chain.tip_hash,
+        )
+        verify_certificate(certificate, ctx, backend, params)
+        chain.append(block, certificate,
+                     seed_override=_round_seed(backend, chain, block,
+                                               round_number))
+    return chain
+
+
+def _round_seed(backend: CryptoBackend, chain: Blockchain, block: Block,
+                round_number: int) -> bytes | None:
+    """Seed for the appended round, re-deriving the fallback when needed."""
+    previous_seed = chain.seed_of_round(round_number - 1)
+    if block.is_empty:
+        return fallback_seed(previous_seed, round_number)
+    if not verify_seed(backend, block.proposer, block.seed,
+                       block.seed_proof, previous_seed, round_number):
+        return fallback_seed(previous_seed, round_number)
+    return None  # block.seed is valid; Blockchain.append uses it
+
+
+def verify_final_safety(chain: Blockchain, *, backend: CryptoBackend,
+                        params: ProtocolParams) -> int | None:
+    """Verify the most recent final certificate on ``chain``.
+
+    Section 8.3: "Since final blocks are totally ordered, users need to
+    check the safety of only the most recent block." This helper finds
+    the newest round carrying a final certificate, reconstructs that
+    round's context from the chain's own snapshots (weights of the
+    previous round, the selection seed, the previous tip), verifies the
+    certificate, and returns the round number — every block at or before
+    it is then final. Returns ``None`` when no final certificate is held.
+
+    Raises:
+        InvalidCertificate: if the stored certificate does not verify —
+            the chain's finality claim is bogus.
+    """
+    round_number = chain.latest_final_round()
+    if round_number is None:
+        return None
+    certificate = chain.final_certificate_at(round_number)
+    if not isinstance(certificate, Certificate) or not certificate.is_final:
+        raise InvalidCertificate("stored final certificate is malformed")
+    if certificate.value != chain.block_at(round_number).block_hash:
+        raise InvalidCertificate(
+            "final certificate certifies a different block")
+    ctx = BAContext.from_weights(
+        chain.selection_seed(round_number),
+        chain.weights_at(round_number - 1),
+        chain.block_at(round_number - 1).block_hash,
+    )
+    verify_certificate(certificate, ctx, backend, params)
+    return round_number
+
+
+def catch_up_from(node_chain: Blockchain, *, params: ProtocolParams,
+                  backend: CryptoBackend,
+                  initial_balances: Mapping[bytes, int],
+                  genesis_seed: bytes) -> Blockchain:
+    """Bootstrap a fresh replica from another node's chain + certificates.
+
+    Convenience wrapper used in tests and examples: extracts blocks and
+    certificates from an existing replica and replays them as a new user
+    would.
+    """
+    blocks = node_chain.blocks[1:]
+    certificates = {}
+    for block in blocks:
+        certificate = node_chain.certificate_at(block.round_number)
+        if certificate is not None:
+            certificates[block.round_number] = certificate
+    return replay_chain(
+        blocks, certificates, initial_balances=initial_balances,
+        genesis_seed=genesis_seed, params=params, backend=backend,
+    )

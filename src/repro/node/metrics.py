@@ -1,0 +1,72 @@
+"""Per-node measurement records used by the evaluation harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class RoundRecord:
+    """One node's view of one completed round."""
+
+    round_number: int
+    start_time: float
+    proposal_done_time: float
+    ba_done_time: float
+    end_time: float
+    kind: str
+    block_hash: bytes
+    is_empty: bool
+    payload_bytes: int
+    binary_steps: int
+
+    @property
+    def duration(self) -> float:
+        return self.end_time - self.start_time
+
+    @property
+    def proposal_duration(self) -> float:
+        """Time to obtain the proposed block (Figure 7, bottom segment)."""
+        return self.proposal_done_time - self.start_time
+
+    @property
+    def ba_duration(self) -> float:
+        """BA* up to (not including) the final-vote count."""
+        return self.ba_done_time - self.proposal_done_time
+
+    @property
+    def final_step_duration(self) -> float:
+        """The final-step segment (Figure 7, top segment)."""
+        return self.end_time - self.ba_done_time
+
+
+@dataclass
+class NodeMetrics:
+    """Accumulates a node's round records and step timings."""
+
+    rounds: list[RoundRecord] = field(default_factory=list)
+    #: (round, step, seconds) for every CountVotes invocation that returned
+    #: a value (used by the section 10.5 timeout-validation experiment).
+    step_durations: list[tuple[int, str, float]] = field(default_factory=list)
+
+    def record_round(self, record: RoundRecord) -> None:
+        self.rounds.append(record)
+
+    def record_step(self, round_number: int, step: str,
+                    seconds: float) -> None:
+        self.step_durations.append((round_number, step, seconds))
+
+    def finalize_kind(self, round_number: int, kind: str) -> None:
+        """Late kind update for pipelined rounds (final count finishes
+        after the round's record was written)."""
+        import dataclasses
+        for i, record in enumerate(self.rounds):
+            if record.round_number == round_number:
+                self.rounds[i] = dataclasses.replace(record, kind=kind)
+                return
+
+    def round_record(self, round_number: int) -> RoundRecord | None:
+        for record in self.rounds:
+            if record.round_number == round_number:
+                return record
+        return None

@@ -1,0 +1,138 @@
+"""Block proposal (section 6).
+
+Sortition selects an expected ``tau_proposer`` proposers per round. Each
+selected sub-user ``1..j`` yields a priority ``H(vrf_hash || sub_user)``;
+the block's priority is the highest of them. Proposers gossip two
+messages: a tiny priority/proof announcement (~200 bytes) that races ahead
+of the block, and the block itself. Users track the highest priority seen,
+discard lower-priority blocks, and time out to the empty block.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.encoding import encode
+from repro.crypto.backend import CryptoBackend
+from repro.crypto.hashing import H
+from repro.ledger.block import Block
+from repro.sim.loop import Environment, Signal
+from repro.sortition.roles import proposer_role
+from repro.sortition.selection import SortitionProof, verify_sort
+
+
+def priority_of_subuser(vrf_hash: bytes, sub_user: int) -> bytes:
+    """Priority of one selected sub-user (bigger bytes == higher)."""
+    return H(vrf_hash, encode(sub_user))
+
+
+def block_priority(vrf_hash: bytes, j: int) -> bytes:
+    """The block's priority: the best among its ``j`` selected sub-users."""
+    if j < 1:
+        raise ValueError("proposer must have at least one selected sub-user")
+    return max(priority_of_subuser(vrf_hash, sub_user)
+               for sub_user in range(1, j + 1))
+
+
+@dataclass(frozen=True)
+class PriorityMessage:
+    """The small, fast proposal announcement (priority + sortition proof)."""
+
+    proposer: bytes
+    round_number: int
+    vrf_hash: bytes
+    vrf_proof: bytes
+    sub_users: int
+    priority: bytes
+
+    def verify(self, backend: CryptoBackend, seed: bytes, tau: float,
+               weight: int, total_weight: int) -> bool:
+        """Check the sortition proof and the claimed priority."""
+        j = verify_sort(
+            backend, self.proposer, self.vrf_hash, self.vrf_proof, seed,
+            tau, proposer_role(self.round_number), weight, total_weight,
+        )
+        if j == 0 or self.sub_users != j:
+            return False
+        return self.priority == block_priority(self.vrf_hash, j)
+
+
+def make_priority_message(proposer: bytes, round_number: int,
+                          proof: SortitionProof) -> PriorityMessage:
+    return PriorityMessage(
+        proposer=proposer,
+        round_number=round_number,
+        vrf_hash=proof.vrf_hash,
+        vrf_proof=proof.vrf_proof,
+        sub_users=proof.j,
+        priority=block_priority(proof.vrf_hash, proof.j),
+    )
+
+
+@dataclass
+class ProposalTracker:
+    """Per-round bookkeeping of proposals a node has heard about."""
+
+    round_number: int
+    best_priority: PriorityMessage | None = None
+    blocks: dict[bytes, Block] = field(default_factory=dict)
+    #: Proposers seen equivocating (two different blocks, same round);
+    #: their proposals are discarded per the section 10.4 optimization.
+    equivocators: set[bytes] = field(default_factory=set)
+    #: Block hash announced by each proposer (equivocation detection).
+    announced: dict[bytes, bytes] = field(default_factory=dict)
+    block_signal: Signal | None = None
+    priority_signal: Signal | None = None
+
+    def signals(self, env: Environment) -> tuple[Signal, Signal]:
+        if self.block_signal is None:
+            self.block_signal = env.signal()
+        if self.priority_signal is None:
+            self.priority_signal = env.signal()
+        return self.priority_signal, self.block_signal
+
+    def observe_priority(self, message: PriorityMessage,
+                         env: Environment) -> bool:
+        """Record an announcement; True if it is the new best priority."""
+        if message.proposer in self.equivocators:
+            return False
+        if (self.best_priority is None
+                or message.priority > self.best_priority.priority):
+            self.best_priority = message
+            priority_signal, _ = self.signals(env)
+            priority_signal.pulse()
+            return True
+        return False
+
+    def observe_block(self, block: Block, env: Environment) -> bool:
+        """Record a proposed block; True if it should be relayed.
+
+        Detects equivocation: a proposer announcing two different blocks
+        for the same round is discarded entirely (both versions), matching
+        the optimization described in section 10.4.
+        """
+        proposer = block.proposer
+        if proposer is None or proposer in self.equivocators:
+            return False
+        previous = self.announced.get(proposer)
+        if previous is not None and previous != block.block_hash:
+            self.equivocators.add(proposer)
+            self.blocks = {h: b for h, b in self.blocks.items()
+                           if b.proposer != proposer}
+            return False
+        self.announced[proposer] = block.block_hash
+        self.blocks[block.block_hash] = block
+        _, block_signal = self.signals(env)
+        block_signal.pulse()
+        # Relay only blocks from the best-priority proposer seen so far.
+        return (self.best_priority is None
+                or proposer == self.best_priority.proposer)
+
+    def best_block(self) -> Block | None:
+        """The block of the highest-priority non-equivocating proposer."""
+        if self.best_priority is None:
+            return None
+        for block in self.blocks.values():
+            if block.proposer == self.best_priority.proposer:
+                return block
+        return None

@@ -1,0 +1,282 @@
+"""Fork recovery (section 8.2).
+
+When weak synchrony lets BA* reach *tentative* consensus on different
+blocks, nodes end up on forks and can no longer count each other's votes
+(their ``prev_hash`` bindings differ); at least one fork starves. The
+paper recovers by periodically running BA* on "which fork should everyone
+adopt":
+
+1. users propose forks via the block-proposal mechanism — a selected
+   "fork proposer" announces the longest chain it knows;
+2. everyone waits for the highest-priority proposal whose chain is at
+   least as long as their own longest known fork (so final blocks are
+   always retained);
+3. BA* runs over the proposal, using seed and weights *from before the
+   fork* so all participants share a context;
+4. on agreement, everyone adopts the winning fork. If the round fails
+   (empty outcome), the attempt counter is hashed into the roles and the
+   protocol retries.
+
+This module implements that protocol over the same gossip network. The
+recovery context uses the weights and seed at ``pre_fork_round`` — the
+paper's quantized look-back; the simulation harness passes the last round
+known to precede the partition (in production this comes from the
+block-timestamp quantization described in section 8.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baplus.context import BAContext
+from repro.baplus.protocol import ba_star
+from repro.common.encoding import encode
+from repro.common.errors import ConsensusHalted
+from repro.crypto.hashing import H
+from repro.ledger.block import Block, empty_block_hash
+from repro.network.message import Envelope
+from repro.node.agent import Node
+from repro.node.proposal import block_priority
+from repro.sortition.roles import fork_proposer_role
+from repro.sortition.selection import sortition, verify_sort
+
+#: Recovery BA* executions use round numbers far above any real round so
+#: their votes can never collide with in-band consensus votes.
+RECOVERY_ROUND_BASE = 1_000_000_000
+
+
+@dataclass(frozen=True)
+class ForkProposal:
+    """A fork proposer's announcement: its full candidate chain."""
+
+    proposer: bytes
+    attempt: int
+    vrf_hash: bytes
+    vrf_proof: bytes
+    sub_users: int
+    blocks: tuple[Block, ...]  # rounds 1..n of the proposed chain
+
+    @property
+    def priority(self) -> bytes:
+        return block_priority(self.vrf_hash, self.sub_users)
+
+    @property
+    def tip_hash(self) -> bytes:
+        if not self.blocks:
+            return b""
+        return self.blocks[-1].block_hash
+
+    @property
+    def length(self) -> int:
+        return len(self.blocks)
+
+    @property
+    def size(self) -> int:
+        return 200 + sum(block.size for block in self.blocks)
+
+
+class RecoverySession:
+    """One node's participation in one recovery attempt."""
+
+    def __init__(self, node: Node, pre_fork_round: int) -> None:
+        self.node = node
+        self.pre_fork_round = pre_fork_round
+        self.proposals: dict[bytes, ForkProposal] = {}
+        self._signal = node.env.signal()
+        node.extra_handlers["fork"] = self._handle_proposal
+
+    # -- context ---------------------------------------------------------
+
+    def _recovery_ctx(self, attempt: int) -> BAContext:
+        """Shared context: seed/weights from before any possible fork."""
+        chain = self.node.chain
+        cut = min(self.pre_fork_round, chain.height)
+        seed = H(chain.seed_of_round(cut), encode(attempt))
+        # Weights must come from the shared pre-fork prefix (section 8.2):
+        # replay it so stake moved by post-fork blocks cannot diverge the
+        # contexts.
+        weights = chain.fork_from(chain.blocks[1:cut + 1]).state.weights()
+        return BAContext.from_weights(
+            seed, weights, H(b"recovery", encode(attempt)))
+
+    # -- gossip ----------------------------------------------------------
+
+    def _handle_proposal(self, proposal: ForkProposal) -> bool:
+        if proposal.proposer in self.proposals:
+            return False
+        self.proposals[proposal.proposer] = proposal
+        self._signal.pulse()
+        return True
+
+    def _propose_if_selected(self, attempt: int, ctx: BAContext) -> None:
+        node = self.node
+        role = fork_proposer_role(self.pre_fork_round, attempt)
+        proof = sortition(
+            node.backend, node.keypair.secret, ctx.seed,
+            node.params.tau_proposer, role,
+            ctx.weight_of(node.keypair.public), ctx.total_weight,
+        )
+        if proof.j == 0:
+            return
+        proposal = ForkProposal(
+            proposer=node.keypair.public, attempt=attempt,
+            vrf_hash=proof.vrf_hash, vrf_proof=proof.vrf_proof,
+            sub_users=proof.j, blocks=node.chain.blocks[1:],
+        )
+        self._handle_proposal(proposal)
+        node.interface.broadcast(Envelope(
+            origin=node.keypair.public, kind="fork", payload=proposal,
+            size=proposal.size,
+        ))
+
+    def _valid(self, proposal: ForkProposal, attempt: int,
+               ctx: BAContext) -> bool:
+        if proposal.attempt != attempt:
+            return False
+        j = verify_sort(
+            self.node.backend, proposal.proposer, proposal.vrf_hash,
+            proposal.vrf_proof, ctx.seed, self.node.params.tau_proposer,
+            fork_proposer_role(self.pre_fork_round, attempt),
+            ctx.weight_of(proposal.proposer), ctx.total_weight,
+        )
+        if j == 0 or j != proposal.sub_users:
+            return False
+        # The proposed fork must be at least as long as our own chain
+        # (choosing the longest fork retains all final blocks).
+        return proposal.length >= self.node.chain.height
+
+    def _best_proposal(self, attempt: int,
+                       ctx: BAContext) -> ForkProposal | None:
+        valid = [proposal for proposal in self.proposals.values()
+                 if self._valid(proposal, attempt, ctx)]
+        if not valid:
+            return None
+        return max(valid, key=lambda proposal: proposal.priority)
+
+    # -- the protocol ------------------------------------------------------
+
+    def run(self, max_attempts: int = 3):
+        """Generator: participate in recovery until a fork is adopted.
+
+        Returns True if this node adopted (or confirmed) a winning fork.
+        """
+        node = self.node
+        for attempt in range(max_attempts):
+            ctx = self._recovery_ctx(attempt)
+            recovery_round = RECOVERY_ROUND_BASE + attempt
+            self._propose_if_selected(attempt, ctx)
+            # Wait for fork proposals to spread (blocks are bulky).
+            yield node.env.timeout(node.params.lambda_priority
+                                   + node.params.lambda_block)
+            best = self._best_proposal(attempt, ctx)
+            empty = empty_block_hash(recovery_round, ctx.last_block_hash)
+            start_value = best.tip_hash if best is not None else empty
+            try:
+                result = yield from ba_star(
+                    node.participant, ctx, recovery_round, start_value)
+            except ConsensusHalted:
+                continue
+            if result.block_hash == empty:
+                continue  # no winning fork this attempt; retry
+            winner = next(
+                (proposal for proposal in self.proposals.values()
+                 if proposal.tip_hash == result.block_hash), None)
+            if winner is None:
+                continue  # agreed on a fork we never received; retry
+            self._adopt(winner)
+            return True
+        return False
+
+    def _adopt(self, proposal: ForkProposal) -> None:
+        node = self.node
+        if proposal.tip_hash == node.chain.tip_hash:
+            node.halted = False
+            return
+        node.chain = node.chain.fork_from(proposal.blocks)
+        node.halted = False
+
+    def close(self) -> None:
+        self.node.extra_handlers.pop("fork", None)
+
+
+def run_recovery(nodes: list[Node], pre_fork_round: int,
+                 max_attempts: int = 3) -> list[RecoverySession]:
+    """Kick off a recovery session on every node; returns the sessions.
+
+    The caller runs the environment; afterwards all participating nodes
+    whose session returned True share one chain.
+    """
+    sessions = [RecoverySession(node, pre_fork_round) for node in nodes]
+    for session in sessions:
+        session.node.env.process(session.run(max_attempts),
+                                 f"recovery-{session.node.index}")
+    return sessions
+
+
+class RecoveryDaemon:
+    """Clock-driven recovery (section 8.2's periodic kick-off).
+
+    "Users then use loosely synchronized clocks to stop regular block
+    processing and kick off the recovery protocol at every time
+    interval." Each node runs one daemon; at every
+    ``params.recovery_interval`` tick it checks whether the node has
+    halted (BinaryBA* hit MaxSteps) and, if so, joins a recovery
+    session. The pre-fork round is quantized from chain length the same
+    way for all nodes: the last round at least ``safety_margin`` rounds
+    below the *shortest* halted chain is guaranteed to be on the shared
+    prefix, and the simulation's loosely synchronized clocks make every
+    daemon fire within the same interval.
+
+    ``clock_skew`` staggers the tick per node (the paper requires only
+    *loose* synchronization; recovery tolerates skews well below the
+    proposal-wait windows).
+    """
+
+    def __init__(self, node: Node, safety_margin: int = 1,
+                 clock_skew: float = 0.0,
+                 max_attempts: int = 3,
+                 resume_target: int | None = None) -> None:
+        if safety_margin < 0:
+            raise ValueError("safety_margin must be >= 0")
+        self.node = node
+        self.safety_margin = safety_margin
+        self.clock_skew = clock_skew
+        self.max_attempts = max_attempts
+        #: If set, restart the node's round loop toward this chain height
+        #: after a successful recovery (liveness restoration).
+        self.resume_target = resume_target
+        self.recoveries = 0
+        node.env.process(self._loop(), f"recovery-daemon-{node.index}")
+
+    def _pre_fork_round(self) -> int:
+        return max(0, self.node.chain.height - self.safety_margin)
+
+    def _loop(self):
+        node = self.node
+        if self.clock_skew:
+            yield node.env.timeout(self.clock_skew)
+        while True:
+            yield node.env.timeout(node.params.recovery_interval)
+            if not node.halted:
+                continue
+            session = RecoverySession(node, self._pre_fork_round())
+            recovered = yield from session.run(self.max_attempts)
+            session.close()
+            if recovered:
+                self.recoveries += 1
+                if (self.resume_target is not None
+                        and node.chain.height < self.resume_target):
+                    node.start(self.resume_target)
+
+
+def attach_recovery_daemons(nodes: list[Node], safety_margin: int = 1,
+                            skew_per_node: float = 0.0,
+                            resume_target: int | None = None
+                            ) -> list[RecoveryDaemon]:
+    """One daemon per node, with small per-node clock skews."""
+    return [
+        RecoveryDaemon(node, safety_margin=safety_margin,
+                       clock_skew=index * skew_per_node,
+                       resume_target=resume_target)
+        for index, node in enumerate(nodes)
+    ]

@@ -1,0 +1,48 @@
+"""Shared block registry: the simulation's ``BlockOfHash`` fetch path.
+
+BA* votes on block *hashes*; a node that reaches agreement on a hash
+without having received the block "must obtain it from other users (and,
+since the block was agreed upon, many of the honest users must have
+received it during block proposal)" — Algorithm 3's ``BlockOfHash()``.
+
+In the simulation this fetch is modeled by a registry shared by all nodes
+of one experiment: proposers register every block they originate, and a
+node resolving an unseen hash performs a registry lookup (counted, so
+experiments can report how often the slow path was taken). The bandwidth
+cost of the normal path is fully modeled by the gossip layer; the rare
+fetch path is deliberately free, which can only *under*-state Algorand's
+latency by a fraction of a block transfer.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import LedgerError
+from repro.ledger.block import Block
+
+
+class BlockRegistry:
+    """Hash -> block mapping shared across one simulation."""
+
+    def __init__(self) -> None:
+        self._blocks: dict[bytes, Block] = {}
+        self.fetches = 0
+
+    def register(self, block: Block) -> None:
+        self._blocks[block.block_hash] = block
+
+    def fetch(self, block_hash: bytes) -> Block:
+        """Resolve a hash the node never received; counts as a slow fetch."""
+        try:
+            block = self._blocks[block_hash]
+        except KeyError:
+            raise LedgerError(
+                f"no proposer ever built block {block_hash.hex()[:16]}"
+            ) from None
+        self.fetches += 1
+        return block
+
+    def __contains__(self, block_hash: bytes) -> bool:
+        return block_hash in self._blocks
+
+    def __len__(self) -> int:
+        return len(self._blocks)

@@ -1,0 +1,21 @@
+"""Discrete-event simulation kernel (virtual clock, processes, events)."""
+
+from repro.sim.loop import (
+    AnyOf,
+    Environment,
+    Event,
+    Process,
+    Signal,
+    Timeout,
+    Waitable,
+)
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Signal",
+    "Timeout",
+    "AnyOf",
+    "Process",
+    "Waitable",
+]

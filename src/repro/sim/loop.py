@@ -1,0 +1,308 @@
+"""Deterministic discrete-event simulation kernel.
+
+All Algorand nodes in this reproduction run as generator-based processes
+over a virtual clock. The kernel is intentionally small (a la SimPy):
+
+* :class:`Environment` owns the clock and the event heap.
+* A *process* is a generator that yields *waitables*:
+  :class:`Timeout`, :class:`Event`, another :class:`Process` (join), or
+  :class:`AnyOf` (first-of-many). The yield expression evaluates to the
+  waitable's value; ``AnyOf`` yields ``(index, value)``.
+
+Determinism: events at equal times fire in scheduling order (a
+monotonically increasing sequence number breaks ties), so a given seed
+always reproduces the same run.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable
+
+from repro.common.errors import SimulationError
+
+
+class Timer:
+    """Handle for a scheduled callback; supports cancellation.
+
+    Heap entries are ``(time, seq, timer)`` tuples so ordering is decided
+    by C-level tuple comparison (``seq`` is unique, so the Timer itself
+    is never compared) — this is the event loop's hottest path.
+    """
+
+    __slots__ = ("time", "seq", "callback", "cancelled")
+
+    def __init__(self, time: float, seq: int,
+                 callback: Callable[[], None]) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+class Waitable:
+    """Base class for things a process can yield."""
+
+    def _arm(self, env: "Environment",
+             callback: Callable[[Any], None]) -> Callable[[], None]:
+        """Register ``callback`` to fire once; return a disarm function."""
+        raise NotImplementedError
+
+
+class Timeout(Waitable):
+    """Fires after ``delay`` simulated seconds with value ``value``."""
+
+    __slots__ = ("delay", "value")
+
+    def __init__(self, delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative timeout {delay}")
+        self.delay = delay
+        self.value = value
+
+    def _arm(self, env: "Environment",
+             callback: Callable[[Any], None]) -> Callable[[], None]:
+        timer = env.schedule(self.delay, lambda: callback(self.value))
+        return timer.cancel
+
+
+class Event(Waitable):
+    """One-shot event carrying a value; may have many waiters."""
+
+    __slots__ = ("_env", "_waiters", "triggered", "value")
+
+    def __init__(self, env: "Environment") -> None:
+        self._env = env
+        self._waiters: list[Callable[[Any], None]] = []
+        self.triggered = False
+        self.value: Any = None
+
+    def trigger(self, value: Any = None) -> None:
+        if self.triggered:
+            raise SimulationError("event already triggered")
+        self.triggered = True
+        self.value = value
+        waiters, self._waiters = self._waiters, []
+        for waiter in waiters:
+            # Deliver on the event loop to keep callback ordering sane.
+            self._env.schedule(0.0, lambda w=waiter: w(value))
+
+    def _arm(self, env: "Environment",
+             callback: Callable[[Any], None]) -> Callable[[], None]:
+        if self.triggered:
+            timer = env.schedule(0.0, lambda: callback(self.value))
+            return timer.cancel
+        self._waiters.append(callback)
+
+        def disarm() -> None:
+            try:
+                self._waiters.remove(callback)
+            except ValueError:
+                pass
+
+        return disarm
+
+
+class Signal:
+    """Reusable broadcast: each :meth:`next_event` fires on next pulse."""
+
+    __slots__ = ("_env", "_pending")
+
+    def __init__(self, env: "Environment") -> None:
+        self._env = env
+        self._pending: Event | None = None
+
+    def next_event(self) -> Event:
+        """An event that fires at the next :meth:`pulse`."""
+        if self._pending is None or self._pending.triggered:
+            self._pending = Event(self._env)
+        return self._pending
+
+    def pulse(self, value: Any = None) -> None:
+        if self._pending is not None and not self._pending.triggered:
+            self._pending.trigger(value)
+
+
+class AnyOf(Waitable):
+    """Fires when the first of ``children`` fires; value ``(index, value)``."""
+
+    __slots__ = ("children",)
+
+    def __init__(self, children: Iterable[Waitable]) -> None:
+        self.children = list(children)
+        if not self.children:
+            raise SimulationError("AnyOf requires at least one waitable")
+
+    def _arm(self, env: "Environment",
+             callback: Callable[[Any], None]) -> Callable[[], None]:
+        disarms: list[Callable[[], None]] = []
+        done = False
+
+        def fire(index: int, value: Any) -> None:
+            nonlocal done
+            if done:
+                return
+            done = True
+            for i, disarm in enumerate(disarms):
+                if i != index:
+                    disarm()
+            callback((index, value))
+
+        for i, child in enumerate(self.children):
+            disarms.append(
+                child._arm(env, lambda v, i=i: fire(i, v))
+            )
+
+        def disarm_all() -> None:
+            nonlocal done
+            done = True
+            for disarm in disarms:
+                disarm()
+
+        return disarm_all
+
+
+ProcessGenerator = Generator[Waitable, Any, Any]
+
+
+class Process(Waitable):
+    """Drives a generator; itself waitable (join yields the return value)."""
+
+    def __init__(self, env: "Environment", generator: ProcessGenerator,
+                 name: str = "") -> None:
+        self._env = env
+        self._generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self.done = False
+        self.result: Any = None
+        self.error: BaseException | None = None
+        self._done_event = Event(env)
+        self._current_disarm: Callable[[], None] | None = None
+        env.schedule(0.0, lambda: self._resume(None))
+
+    def _resume(self, value: Any) -> None:
+        if self.done:
+            return
+        self._current_disarm = None
+        try:
+            target = self._generator.send(value)
+        except StopIteration as stop:
+            self._finish(stop.value, None)
+            return
+        except BaseException as exc:  # propagate at env.run()
+            self._finish(None, exc)
+            return
+        if target is None:
+            target = Timeout(0.0)
+        if not isinstance(target, Waitable):
+            self._finish(None, SimulationError(
+                f"process {self.name} yielded non-waitable "
+                f"{type(target).__name__}"
+            ))
+            return
+        self._current_disarm = target._arm(self._env, self._resume)
+
+    def _finish(self, result: Any, error: BaseException | None) -> None:
+        self.done = True
+        self.result = result
+        self.error = error
+        if error is not None:
+            self._env._record_failure(self, error)
+        self._done_event.trigger(result)
+
+    def interrupt(self) -> None:
+        """Stop the process at its current wait point."""
+        if self.done:
+            return
+        if self._current_disarm is not None:
+            self._current_disarm()
+        self._generator.close()
+        self._finish(None, None)
+
+    def _arm(self, env: "Environment",
+             callback: Callable[[Any], None]) -> Callable[[], None]:
+        return self._done_event._arm(env, callback)
+
+
+class Environment:
+    """The event loop: virtual clock plus a timer heap."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._heap: list[tuple[float, int, Timer]] = []
+        self._seq = 0
+        self._failures: list[tuple[Process, BaseException]] = []
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> Timer:
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past ({delay})")
+        timer = Timer(self.now + delay, self._seq, callback)
+        self._seq += 1
+        heapq.heappush(self._heap, (timer.time, timer.seq, timer))
+        return timer
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(delay, value)
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def signal(self) -> Signal:
+        return Signal(self)
+
+    def any_of(self, children: Iterable[Waitable]) -> AnyOf:
+        return AnyOf(children)
+
+    def process(self, generator: ProcessGenerator, name: str = "") -> Process:
+        return Process(self, generator, name)
+
+    def _record_failure(self, process: Process,
+                        error: BaseException) -> None:
+        self._failures.append((process, error))
+
+    def run(self, until: float | None = None,
+            max_events: int | None = None,
+            stop_when: Callable[[], bool] | None = None) -> None:
+        """Run until the heap drains, ``until`` is reached, or cap hit.
+
+        ``stop_when`` is evaluated after each event; returning True ends
+        the run early (used to stop once every node process finished,
+        without waiting out background egress loops).
+
+        Raises the first process failure encountered (simulations must not
+        silently swallow node crashes).
+        """
+        events = 0
+        while self._heap:
+            if self._failures:
+                process, error = self._failures[0]
+                raise SimulationError(
+                    f"process {process.name!r} failed at t={self.now:.3f}"
+                ) from error
+            timer = self._heap[0][2]
+            if timer.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if until is not None and timer.time > until:
+                self.now = until
+                return
+            heapq.heappop(self._heap)
+            self.now = timer.time
+            timer.callback()
+            events += 1
+            if stop_when is not None and stop_when():
+                return
+            if max_events is not None and events >= max_events:
+                raise SimulationError(
+                    f"exceeded max_events={max_events} (possible livelock)"
+                )
+        if self._failures:
+            process, error = self._failures[0]
+            raise SimulationError(
+                f"process {process.name!r} failed at t={self.now:.3f}"
+            ) from error
+        if until is not None:
+            self.now = until

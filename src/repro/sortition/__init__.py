@@ -1,0 +1,43 @@
+"""Cryptographic sortition: private, non-interactive committee selection."""
+
+from repro.sortition.roles import (
+    FINAL_STEP,
+    REDUCTION_ONE,
+    REDUCTION_TWO,
+    committee_role,
+    fork_proposer_role,
+    proposer_role,
+)
+from repro.sortition.seed import (
+    SeedChain,
+    fallback_seed,
+    propose_seed,
+    selection_round,
+    verify_seed,
+)
+from repro.sortition.selection import (
+    SortitionProof,
+    selection_probability,
+    sortition,
+    sub_users_selected,
+    verify_sort,
+)
+
+__all__ = [
+    "SortitionProof",
+    "sortition",
+    "verify_sort",
+    "sub_users_selected",
+    "selection_probability",
+    "proposer_role",
+    "committee_role",
+    "fork_proposer_role",
+    "FINAL_STEP",
+    "REDUCTION_ONE",
+    "REDUCTION_TWO",
+    "SeedChain",
+    "propose_seed",
+    "verify_seed",
+    "fallback_seed",
+    "selection_round",
+]

@@ -1,0 +1,145 @@
+"""Cryptographic sortition (Algorithms 1 and 2 of the paper).
+
+Given a VRF output ``hash`` (uniform in ``[0, 2**hashlen)``), a user of
+weight ``w`` out of total weight ``W``, and a role threshold ``tau``, the
+user is selected as ``j`` "sub-users" where ``j`` follows the binomial
+distribution ``B(j; w, tau/W)``. The paper's interval walk
+
+    while hash/2^hashlen not in [ sum_{k<=j} B(k), sum_{k<=j+1} B(k) ): j++
+
+is exactly the inverse binomial CDF evaluated at the hash fraction, which
+is how we compute it (via :func:`scipy.stats.binom.ppf`, with an exact
+fallback for small weights).
+
+The binomial is what makes sortition Sybil-resistant: since
+``B(k1; n1, p) + B(k2; n2, p)`` convolves to ``B(k1+k2; n1+n2, p)``,
+splitting one's currency across pseudonyms leaves the distribution of
+selected sub-users unchanged (tested property).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from scipy.stats import binom
+
+from repro.common.errors import SortitionError
+from repro.crypto.backend import CryptoBackend
+
+
+def hash_to_fraction(vrf_hash: bytes) -> float:
+    """Map VRF output bytes to a fraction in ``[0, 1)``.
+
+    Uses the top 53 bits so the conversion is exact in a double.
+    """
+    if not vrf_hash:
+        raise SortitionError("empty VRF hash")
+    top = int.from_bytes(vrf_hash[:8], "big") >> 11  # 53 bits
+    return top / float(1 << 53)
+
+
+def sub_users_selected(vrf_hash: bytes, weight: int, tau: float,
+                       total_weight: int) -> int:
+    """Number of selected sub-users ``j`` for this VRF output.
+
+    Args:
+        vrf_hash: the (pseudo-random) VRF output for ``seed || role``.
+        weight: the user's weight ``w`` (currency units).
+        tau: expected number of selected sub-users across all users.
+        total_weight: total currency ``W``.
+
+    Returns:
+        ``j`` in ``[0, weight]``; ``0`` means not selected.
+    """
+    if weight < 0:
+        raise SortitionError(f"negative weight {weight}")
+    if total_weight <= 0:
+        raise SortitionError(f"total weight must be positive, got {total_weight}")
+    if weight > total_weight:
+        raise SortitionError(
+            f"weight {weight} exceeds total weight {total_weight}"
+        )
+    if tau <= 0:
+        raise SortitionError(f"tau must be positive, got {tau}")
+    if weight == 0:
+        return 0
+    p = tau / total_weight
+    if p >= 1.0:
+        # Every sub-user is selected with certainty.
+        return weight
+    fraction = hash_to_fraction(vrf_hash)
+    if weight <= _EXACT_WEIGHT_LIMIT:
+        return _inverse_cdf_exact(fraction, weight, p)
+    j = int(binom.ppf(fraction, weight, p))
+    return max(0, min(j, weight))
+
+
+#: Below this weight we walk the CDF with exact term recurrences, which is
+#: faster than a scipy call and free of any tail-accuracy concerns.
+_EXACT_WEIGHT_LIMIT = 64
+
+
+def _inverse_cdf_exact(fraction: float, w: int, p: float) -> int:
+    """Smallest ``j`` with ``CDF(j) >= fraction`` by direct summation."""
+    term = (1.0 - p) ** w  # B(0; w, p)
+    cumulative = term
+    j = 0
+    while cumulative < fraction and j < w:
+        # B(k+1) = B(k) * (w-k)/(k+1) * p/(1-p)
+        term *= (w - j) / (j + 1) * (p / (1.0 - p))
+        cumulative += term
+        j += 1
+    return j
+
+
+@dataclass(frozen=True)
+class SortitionProof:
+    """Result of running sortition: carried in every committee message."""
+
+    vrf_hash: bytes
+    vrf_proof: bytes
+    j: int
+
+    @property
+    def selected(self) -> bool:
+        return self.j > 0
+
+
+def sortition(backend: CryptoBackend, secret: bytes, seed: bytes,
+              tau: float, role: bytes, weight: int,
+              total_weight: int) -> SortitionProof:
+    """Algorithm 1: privately check selection for ``role`` under ``seed``."""
+    vrf_hash, vrf_proof = backend.vrf_prove(secret, seed + role)
+    j = sub_users_selected(vrf_hash, weight, tau, total_weight)
+    return SortitionProof(vrf_hash=vrf_hash, vrf_proof=vrf_proof, j=j)
+
+
+def verify_sort(backend: CryptoBackend, public: bytes, vrf_hash: bytes,
+                vrf_proof: bytes, seed: bytes, tau: float, role: bytes,
+                weight: int, total_weight: int) -> int:
+    """Algorithm 2: publicly verify a sortition proof.
+
+    Returns the number of selected sub-users, or ``0`` if the proof is
+    invalid or the user was not selected.
+    """
+    try:
+        expected_hash = backend.vrf_verify(public, vrf_proof, seed + role)
+    except Exception:
+        return 0
+    if expected_hash != vrf_hash:
+        return 0
+    return sub_users_selected(vrf_hash, weight, tau, total_weight)
+
+
+def expected_committee_votes(tau: float) -> float:
+    """Expected total sub-user selections across all users (== tau)."""
+    return float(tau)
+
+
+def selection_probability(weight: int, tau: float, total_weight: int) -> float:
+    """Probability that a user of ``weight`` is selected at least once."""
+    if weight == 0:
+        return 0.0
+    p = min(1.0, tau / total_weight)
+    return 1.0 - math.pow(1.0 - p, weight)

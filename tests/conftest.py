@@ -1,0 +1,31 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.encoding import encode
+from repro.crypto.backend import Ed25519Backend, FastBackend
+from repro.crypto.hashing import H
+
+
+@pytest.fixture
+def fast_backend():
+    """Simulation-grade crypto backend (one registry per test)."""
+    return FastBackend()
+
+
+@pytest.fixture(scope="session")
+def ed_backend():
+    """Real Ed25519/ECVRF backend (stateless, safe to share)."""
+    return Ed25519Backend()
+
+
+def key_seed(label: str, index: int = 0) -> bytes:
+    """Deterministic 32-byte key seed for tests."""
+    return H(b"test-key", encode([label, index]))
+
+
+@pytest.fixture
+def keypair(fast_backend):
+    return fast_backend.keypair(key_seed("default"))

@@ -1,0 +1,110 @@
+"""Tests for the committee-size analysis (Figure 3, Appendix B)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.committee import (
+    FIGURE3_EPSILON,
+    best_threshold,
+    certificate_forgery_log2,
+    check_paper_step_parameters,
+    committee_size_for,
+    figure3_curve,
+    final_step_safety,
+    violation_probability,
+)
+
+
+class TestViolationProbability:
+    def test_paper_operating_point(self):
+        """h=80%, tau=2000, T=0.685 must give ~5e-9 (the paper's claim)."""
+        p = check_paper_step_parameters()
+        assert 1e-9 < p < 1e-8
+
+    def test_monotone_decreasing_in_tau(self):
+        probabilities = [violation_probability(tau, 0.685, 0.80)
+                         for tau in (200, 500, 1000, 2000)]
+        assert probabilities == sorted(probabilities, reverse=True)
+
+    def test_monotone_decreasing_in_h(self):
+        probabilities = [violation_probability(2000, 0.685, h)
+                         for h in (0.76, 0.80, 0.85, 0.90)]
+        assert probabilities == sorted(probabilities, reverse=True)
+
+    def test_extreme_thresholds_are_bad(self):
+        """T too close to h kills liveness; T at 2/3 kills safety —
+        the optimum is interior."""
+        mid = violation_probability(2000, 0.685, 0.80)
+        low = violation_probability(2000, 0.667, 0.80)
+        high = violation_probability(2000, 0.79, 0.80)
+        assert mid < low
+        assert mid < high
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            violation_probability(0, 0.685, 0.8)
+        with pytest.raises(ValueError):
+            violation_probability(2000, 0.685, 0.0)
+
+
+class TestBestThreshold:
+    def test_paper_threshold_recovered(self):
+        """The optimizer should land on T ~ 0.685 at the paper's point."""
+        threshold, _ = best_threshold(2000, 0.80)
+        assert abs(threshold - 0.685) < 0.02
+
+
+class TestCommitteeSizeFor:
+    def test_reproduces_paper_tau_step(self):
+        """Figure 3's starred point: tau ~ 2000 at h = 80%."""
+        tau, threshold = committee_size_for(0.80)
+        assert 1800 <= tau <= 2200
+        assert abs(threshold - 0.685) < 0.03
+
+    def test_committee_shrinks_with_honesty(self):
+        tau_80, _ = committee_size_for(0.80)
+        tau_90, _ = committee_size_for(0.90)
+        assert tau_90 < tau_80 / 2
+
+    def test_committee_explodes_toward_two_thirds(self):
+        """Figure 3's left edge: h -> 2/3 forces huge committees."""
+        tau_76, _ = committee_size_for(0.76)
+        tau_80, _ = committee_size_for(0.80)
+        assert tau_76 > 1.5 * tau_80
+
+    def test_infeasible_raises(self):
+        with pytest.raises(ValueError):
+            committee_size_for(0.70, epsilon=1e-18, tau_max=500)
+
+
+class TestFigure3Curve:
+    def test_curve_is_monotone(self):
+        points = figure3_curve([0.78, 0.82, 0.86, 0.90])
+        sizes = [point.committee_size for point in points]
+        assert sizes == sorted(sizes, reverse=True)
+        assert all(p.threshold > 2 / 3 for p in points)
+
+    def test_default_epsilon(self):
+        assert FIGURE3_EPSILON == 5e-9
+
+
+class TestFinalStepAndForgery:
+    def test_final_step_far_safer_than_ordinary(self):
+        assert final_step_safety() < check_paper_step_parameters() / 10
+
+    def test_certificate_forgery_beyond_paper_bound(self):
+        """Paper: < 2^-166 per step for tau > 1000. Our exact tail is
+        even smaller; it must at least clear the paper's bound."""
+        assert certificate_forgery_log2(tau=1000, threshold=0.685) < -166
+        assert certificate_forgery_log2() < -166
+
+    def test_forgery_not_a_tail_when_adversary_dominates(self):
+        assert certificate_forgery_log2(
+            tau=100, threshold=0.685, honest_fraction=0.05) == 0.0
+
+    def test_forgery_log_is_finite(self):
+        value = certificate_forgery_log2()
+        assert math.isfinite(value)

@@ -1,0 +1,97 @@
+"""Tests for the vote buffer and node metrics records."""
+
+from __future__ import annotations
+
+from repro.baplus.buffer import VoteBuffer
+from repro.baplus.messages import VoteMessage
+from repro.node.metrics import NodeMetrics, RoundRecord
+from repro.sim.loop import Environment
+
+
+def _vote(round_number: int, step: str, voter: bytes = b"v") -> VoteMessage:
+    return VoteMessage(voter=voter, round_number=round_number, step=step,
+                       sorthash=b"h", sortproof=b"p", prev_hash=b"prev",
+                       value=b"val", signature=b"sig")
+
+
+class TestVoteBuffer:
+    def test_bucket_indexing(self):
+        env = Environment()
+        buffer = VoteBuffer(env)
+        buffer.add(_vote(1, "1"))
+        buffer.add(_vote(1, "2"))
+        buffer.add(_vote(2, "1"))
+        assert len(buffer.messages(1, "1")) == 1
+        assert len(buffer.messages(1, "2")) == 1
+        assert len(buffer.messages(2, "1")) == 1
+        assert buffer.messages(3, "1") == []
+
+    def test_signal_pulses_waiters(self):
+        env = Environment()
+        buffer = VoteBuffer(env)
+        got = []
+
+        def waiter():
+            yield buffer.signal(1, "1").next_event()
+            got.append(env.now)
+
+        env.process(waiter())
+        env.schedule(2, lambda: buffer.add(_vote(1, "1")))
+        env.run()
+        assert got == [2.0]
+
+    def test_add_without_signal_waiters_is_fine(self):
+        env = Environment()
+        buffer = VoteBuffer(env)
+        buffer.add(_vote(1, "1"))  # no signal ever requested
+
+    def test_prune_before(self):
+        env = Environment()
+        buffer = VoteBuffer(env)
+        for round_number in (1, 2, 3):
+            buffer.add(_vote(round_number, "1"))
+        buffer.prune_before(3)
+        assert buffer.rounds_buffered() == {3}
+        assert buffer.messages(1, "1") == []
+
+    def test_live_bucket_iteration(self):
+        """CountVotes indexes into the live list; appends during
+        iteration must be visible."""
+        env = Environment()
+        buffer = VoteBuffer(env)
+        bucket = buffer.messages(1, "1")
+        buffer.add(_vote(1, "1", b"a"))
+        assert len(bucket) == 1
+        buffer.add(_vote(1, "1", b"b"))
+        assert len(bucket) == 2
+
+
+class TestRoundRecord:
+    def _record(self):
+        return RoundRecord(
+            round_number=1, start_time=10.0, proposal_done_time=12.0,
+            ba_done_time=15.0, end_time=16.0, kind="final",
+            block_hash=b"h", is_empty=False, payload_bytes=100,
+            binary_steps=1)
+
+    def test_segment_arithmetic(self):
+        record = self._record()
+        assert record.duration == 6.0
+        assert record.proposal_duration == 2.0
+        assert record.ba_duration == 3.0
+        assert record.final_step_duration == 1.0
+        assert (record.proposal_duration + record.ba_duration
+                + record.final_step_duration) == record.duration
+
+    def test_metrics_lookup(self):
+        metrics = NodeMetrics()
+        record = self._record()
+        metrics.record_round(record)
+        assert metrics.round_record(1) is record
+        assert metrics.round_record(2) is None
+
+    def test_step_durations(self):
+        metrics = NodeMetrics()
+        metrics.record_step(1, "1", 0.5)
+        metrics.record_step(1, "final", 0.7)
+        assert metrics.step_durations == [(1, "1", 0.5), (1, "final", 0.7)]

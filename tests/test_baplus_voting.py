@@ -1,0 +1,244 @@
+"""Tests for BA* voting primitives: votes, counting, the common coin."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baplus.buffer import VoteBuffer
+from repro.baplus.context import BAContext
+from repro.baplus.messages import VoteMessage, make_vote
+from repro.baplus.voting import (
+    BAParticipant,
+    TIMEOUT,
+    committee_vote,
+    common_coin,
+    count_votes,
+    process_msg,
+)
+from repro.common.params import TEST_PARAMS
+from repro.crypto.backend import FastBackend
+from repro.crypto.hashing import H
+from repro.sim.loop import Environment
+
+
+class Cluster:
+    """N participants with instant, direct vote delivery (no gossip)."""
+
+    def __init__(self, n=20, weight=10, params=TEST_PARAMS):
+        self.env = Environment()
+        self.backend = FastBackend()
+        self.params = params
+        self.keypairs = [self.backend.keypair(H(b"clu", bytes([i])))
+                         for i in range(n)]
+        weights = {kp.public: weight for kp in self.keypairs}
+        self.ctx = BAContext.from_weights(H(b"seed"), weights, H(b"tip"))
+        self.participants = []
+        for kp in self.keypairs:
+            buffer = VoteBuffer(self.env)
+            participant = BAParticipant(
+                env=self.env, params=params, backend=self.backend,
+                buffer=buffer, keypair=kp,
+                gossip_vote=self._make_gossip(),
+            )
+            self.participants.append(participant)
+        for participant in self.participants:
+            participant.gossip_vote = self._broadcast
+
+    def _make_gossip(self):
+        return lambda vote: None  # replaced after construction
+
+    def _broadcast(self, vote: VoteMessage) -> None:
+        for participant in self.participants:
+            participant.buffer.add(vote)
+
+
+@pytest.fixture
+def cluster():
+    return Cluster()
+
+
+class TestCommitteeVote:
+    def test_only_selected_members_send(self, cluster):
+        sent = []
+        cluster.participants[0].gossip_vote = sent.append
+        sum_j = 0
+        for participant in cluster.participants:
+            participant.gossip_vote = sent.append
+            proof = committee_vote(participant, cluster.ctx, 1, "1",
+                                   cluster.params.tau_step, H(b"val"))
+            sum_j += proof.j
+        senders = {v.voter for v in sent}
+        assert len(senders) == sum(
+            1 for p in cluster.participants
+            if committee_vote(p, cluster.ctx, 1, "1",
+                              cluster.params.tau_step, H(b"val")).j > 0)
+        assert sum_j > 0
+
+    def test_vote_carries_chain_binding(self, cluster):
+        sent = []
+        for participant in cluster.participants:
+            participant.gossip_vote = sent.append
+            committee_vote(participant, cluster.ctx, 1, "1",
+                           cluster.params.tau_step, H(b"val"))
+        assert sent  # tau_step = 80 over 20 users: someone is selected
+        assert all(v.prev_hash == H(b"tip") for v in sent)
+
+
+class TestProcessMsg:
+    def _one_vote(self, cluster):
+        votes = []
+        for participant in cluster.participants:
+            participant.gossip_vote = votes.append
+            committee_vote(participant, cluster.ctx, 1, "1",
+                           cluster.params.tau_step, H(b"val"))
+            if votes:
+                return votes[0]
+        pytest.fail("no committee member selected")
+
+    def test_valid_vote_counts(self, cluster):
+        vote = self._one_vote(cluster)
+        votes, value, sorthash = process_msg(
+            cluster.backend, cluster.ctx, cluster.params.tau_step, vote)
+        assert votes > 0
+        assert value == H(b"val")
+        assert sorthash == vote.sorthash
+
+    def test_bad_signature_rejected(self, cluster):
+        vote = self._one_vote(cluster)
+        forged = VoteMessage(
+            voter=vote.voter, round_number=vote.round_number,
+            step=vote.step, sorthash=vote.sorthash,
+            sortproof=vote.sortproof, prev_hash=vote.prev_hash,
+            value=H(b"other"), signature=vote.signature)
+        assert process_msg(cluster.backend, cluster.ctx,
+                           cluster.params.tau_step, forged)[0] == 0
+
+    def test_wrong_chain_rejected(self, cluster):
+        vote = self._one_vote(cluster)
+        other_ctx = BAContext.from_weights(
+            cluster.ctx.seed, dict(cluster.ctx.weights), H(b"other-tip"))
+        assert process_msg(cluster.backend, other_ctx,
+                           cluster.params.tau_step, vote)[0] == 0
+
+    def test_non_member_rejected(self, cluster):
+        """A vote whose sortition proof fails (zero weight) is worthless."""
+        vote = self._one_vote(cluster)
+        outsider_weights = dict(cluster.ctx.weights)
+        outsider_weights[vote.voter] = 0
+        ctx = BAContext(seed=cluster.ctx.seed, weights=outsider_weights,
+                        total_weight=cluster.ctx.total_weight,
+                        last_block_hash=cluster.ctx.last_block_hash)
+        assert process_msg(cluster.backend, ctx,
+                           cluster.params.tau_step, vote)[0] == 0
+
+
+class TestCountVotes:
+    def _run(self, cluster, generator):
+        holder = {}
+
+        def wrapper():
+            holder["result"] = yield from generator
+        cluster.env.process(wrapper())
+        cluster.env.run()
+        return holder["result"]
+
+    def test_unanimous_vote_crosses_threshold(self, cluster):
+        for participant in cluster.participants:
+            committee_vote(participant, cluster.ctx, 1, "1",
+                           cluster.params.tau_step, H(b"val"))
+        result = self._run(cluster, count_votes(
+            cluster.participants[0], cluster.ctx, 1, "1",
+            cluster.params.t_step, cluster.params.tau_step, 5.0))
+        assert result == H(b"val")
+
+    def test_no_votes_times_out(self, cluster):
+        result = self._run(cluster, count_votes(
+            cluster.participants[0], cluster.ctx, 1, "1",
+            cluster.params.t_step, cluster.params.tau_step, 2.0))
+        assert result is TIMEOUT
+        assert cluster.env.now == pytest.approx(2.0)
+
+    def test_split_vote_times_out(self, cluster):
+        for i, participant in enumerate(cluster.participants):
+            value = H(b"a") if i % 2 == 0 else H(b"b")
+            committee_vote(participant, cluster.ctx, 1, "1",
+                           cluster.params.tau_step, value)
+        result = self._run(cluster, count_votes(
+            cluster.participants[0], cluster.ctx, 1, "1",
+            cluster.params.t_step, cluster.params.tau_step, 2.0))
+        assert result is TIMEOUT
+
+    def test_duplicate_voter_counted_once(self, cluster):
+        """An equivocating committee member cannot double its weight:
+        only its first message per step is counted."""
+        target = cluster.participants[0]
+        sender = None
+        for participant in cluster.participants[1:]:
+            sent = []
+            participant.gossip_vote = sent.append
+            proof = committee_vote(participant, cluster.ctx, 1, "1",
+                                   cluster.params.tau_step, H(b"a"))
+            if proof.j > 0:
+                sender = participant
+                first = sent[0]
+                break
+        assert sender is not None
+        # Deliver the same voter twice with different values.
+        second = make_vote(cluster.backend, sender.keypair.secret,
+                           sender.keypair.public, 1, "1", first.sorthash,
+                           first.sortproof, cluster.ctx.last_block_hash,
+                           H(b"b"))
+        target.buffer.add(first)
+        target.buffer.add(second)
+        # Count with an absurdly low threshold measured against the first
+        # voter's weight alone: value 'b' must never be returned.
+        result = self._run(cluster, count_votes(
+            target, cluster.ctx, 1, "1", 0.0001, cluster.params.tau_step,
+            1.0))
+        assert result == H(b"a")
+
+    def test_late_votes_picked_up_while_waiting(self, cluster):
+        target = cluster.participants[0]
+
+        def vote_later():
+            yield cluster.env.timeout(1.0)
+            for participant in cluster.participants:
+                committee_vote(participant, cluster.ctx, 1, "1",
+                               cluster.params.tau_step, H(b"late"))
+
+        cluster.env.process(vote_later())
+        result = self._run(cluster, count_votes(
+            target, cluster.ctx, 1, "1", cluster.params.t_step,
+            cluster.params.tau_step, 5.0))
+        assert result == H(b"late")
+        assert 1.0 <= cluster.env.now < 1.5
+
+
+class TestCommonCoin:
+    def test_coin_is_common_across_observers(self, cluster):
+        for participant in cluster.participants:
+            committee_vote(participant, cluster.ctx, 1, "9",
+                           cluster.params.tau_step, H(b"x"))
+        coins = {
+            common_coin(participant, cluster.ctx, 1, "9",
+                        cluster.params.tau_step)
+            for participant in cluster.participants
+        }
+        assert len(coins) == 1
+        assert coins.pop() in (0, 1)
+
+    def test_coin_varies_across_steps(self, cluster):
+        values = []
+        for step in range(3, 30, 3):
+            for participant in cluster.participants:
+                committee_vote(participant, cluster.ctx, 1, str(step),
+                               cluster.params.tau_step, H(b"x"))
+            values.append(common_coin(cluster.participants[0], cluster.ctx,
+                                      1, str(step),
+                                      cluster.params.tau_step))
+        assert set(values) == {0, 1}
+
+    def test_no_votes_gives_deterministic_coin(self, cluster):
+        # With no messages the coin defaults to (2^hashlen) mod 2 == 0.
+        assert common_coin(cluster.participants[0], cluster.ctx, 1, "99",
+                           cluster.params.tau_step) == 0

@@ -1,0 +1,83 @@
+"""Tests for the Nakamoto (Bitcoin) baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.nakamoto import (
+    NakamotoConfig,
+    NakamotoSimulator,
+    expected_confirmation_latency,
+    fork_probability,
+    paper_comparison,
+    throughput_bytes_per_hour,
+)
+
+
+class TestAnalytics:
+    def test_bitcoin_confirmation_is_an_hour(self):
+        latency = expected_confirmation_latency(NakamotoConfig())
+        assert latency == pytest.approx(3600.0)
+
+    def test_bitcoin_throughput_about_6mb_per_hour(self):
+        """Section 10.2: 'Bitcoin commits a 1 MByte block every 10
+        minutes ... 6 MBytes of transactions per hour'."""
+        throughput = throughput_bytes_per_hour(NakamotoConfig())
+        assert 5.5e6 < throughput <= 6.0e6
+
+    def test_fork_probability_small_but_positive(self):
+        p = fork_probability(NakamotoConfig())
+        assert 0.01 < p < 0.05  # ~2% with 12.6s propagation [18]
+
+    def test_faster_blocks_raise_fork_rate(self):
+        slow = fork_probability(NakamotoConfig())
+        fast = fork_probability(NakamotoConfig(block_interval=60.0))
+        assert fast > slow * 5
+
+    def test_paper_comparison_125x(self):
+        """Algorand at 750 MB/hour (10 MB blocks) vs Bitcoin: ~125x."""
+        ratio = paper_comparison(750e6)
+        assert 115 <= ratio <= 135
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            NakamotoConfig(block_interval=0)
+        with pytest.raises(ValueError):
+            NakamotoConfig(confirmations=0)
+        with pytest.raises(ValueError):
+            NakamotoConfig(propagation_delay=-1)
+
+
+class TestSimulator:
+    def test_simulated_latency_matches_analytic(self):
+        simulator = NakamotoSimulator()
+        result = simulator.run(2000, np.random.default_rng(0))
+        expected = expected_confirmation_latency(simulator.config)
+        assert abs(result.mean_confirmation_latency - expected) < 0.15 * expected
+
+    def test_simulated_throughput_matches_analytic(self):
+        simulator = NakamotoSimulator()
+        result = simulator.run(3000, np.random.default_rng(1))
+        expected = throughput_bytes_per_hour(simulator.config)
+        assert abs(result.throughput_bytes_per_hour - expected) < 0.1 * expected
+
+    def test_fork_rate_matches_probability(self):
+        simulator = NakamotoSimulator()
+        result = simulator.run(5000, np.random.default_rng(2))
+        expected = fork_probability(simulator.config)
+        assert abs(result.fork_rate - expected) < 0.01
+
+    def test_zero_delay_means_no_forks(self):
+        simulator = NakamotoSimulator(NakamotoConfig(propagation_delay=0.0))
+        result = simulator.run(1000, np.random.default_rng(3))
+        assert result.blocks_stale == 0
+
+    def test_too_few_blocks_rejected(self):
+        with pytest.raises(ValueError):
+            NakamotoSimulator().run(3, np.random.default_rng(0))
+
+    def test_deterministic_given_rng(self):
+        a = NakamotoSimulator().run(500, np.random.default_rng(9))
+        b = NakamotoSimulator().run(500, np.random.default_rng(9))
+        assert a == b

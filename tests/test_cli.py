@@ -1,0 +1,44 @@
+"""Smoke tests for the ``python -m repro.experiments`` CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.__main__ import ARTIFACTS, main
+
+
+class TestCLI:
+    def test_unknown_artifact_rejected(self, capsys):
+        assert main(["no-such-figure"]) == 2
+        out = capsys.readouterr().out
+        assert "unknown artifact" in out
+        assert "fig5" in out  # lists what's available
+
+    def test_every_documented_artifact_registered(self):
+        assert set(ARTIFACTS) == {
+            "fig3", "fig5", "fig6", "fig7", "fig8", "tab_throughput",
+            "tab_costs", "tab_timeouts", "tab_params", "tab_related",
+            "tab_waiting", "tab_scalability",
+        }
+
+    def test_related_artifact_runs(self, capsys):
+        assert main(["tab_related"]) == 0
+        out = capsys.readouterr().out
+        assert "Algorand" in out and "Bitcoin" in out
+
+    def test_scalability_artifact_runs(self, capsys):
+        assert main(["tab_scalability"]) == 0
+        out = capsys.readouterr().out
+        assert "giant component" in out
+
+    def test_params_artifact_runs(self, capsys):
+        assert main(["tab_params"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 4" in out
+        assert "2000" in out  # tau_step
+
+    @pytest.mark.parametrize("name", ["fig3"])
+    def test_analytic_artifact_runs(self, name, capsys):
+        assert main([name]) == 0
+        out = capsys.readouterr().out
+        assert "committee size" in out

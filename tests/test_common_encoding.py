@@ -1,0 +1,133 @@
+"""Tests for the canonical encoding codec."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.encoding import decode, encode
+
+
+class TestEncodeBasics:
+    def test_none(self):
+        assert decode(encode(None)) is None
+
+    def test_booleans(self):
+        assert decode(encode(True)) is True
+        assert decode(encode(False)) is False
+
+    def test_bool_is_not_int_encoding(self):
+        # bool is a subclass of int; the codec must not conflate them.
+        assert encode(True) != encode(1)
+        assert encode(False) != encode(0)
+
+    def test_small_ints(self):
+        for value in (0, 1, -1, 127, 128, -128, -129, 255, 256):
+            assert decode(encode(value)) == value
+
+    def test_big_ints(self):
+        value = 2**300 - 17
+        assert decode(encode(value)) == value
+        assert decode(encode(-value)) == -value
+
+    def test_floats(self):
+        for value in (0.0, -0.0, 1.5, -2.25, 1e300, 5.0):
+            assert decode(encode(value)) == value
+
+    def test_bytes_and_str(self):
+        assert decode(encode(b"\x00\xff")) == b"\x00\xff"
+        assert decode(encode("héllo")) == "héllo"
+
+    def test_nested_list(self):
+        value = [1, [b"x", "y"], None, [True, [2]]]
+        assert decode(encode(value)) == value
+
+    def test_tuple_encodes_as_list(self):
+        assert encode((1, 2)) == encode([1, 2])
+
+    def test_dict_sorted_keys(self):
+        assert encode({"b": 1, "a": 2}) == encode({"a": 2, "b": 1})
+        assert decode(encode({"a": 1})) == {"a": 1}
+
+    def test_dict_non_string_keys_rejected(self):
+        with pytest.raises(TypeError):
+            encode({1: "x"})
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(TypeError):
+            encode(object())
+
+
+class TestDecodeErrors:
+    def test_truncated(self):
+        data = encode([1, 2, 3])
+        with pytest.raises(ValueError):
+            decode(data[:-1])
+
+    def test_trailing_bytes(self):
+        with pytest.raises(ValueError):
+            decode(encode(1) + b"x")
+
+    def test_unknown_tag(self):
+        with pytest.raises(ValueError):
+            decode(b"Z")
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            decode(b"")
+
+
+class TestInjectivity:
+    """Distinct values must never share an encoding (consensus depends
+    on it: nodes sign and hash these bytes)."""
+
+    def test_int_vs_str(self):
+        assert encode(1) != encode("1")
+
+    def test_bytes_vs_str(self):
+        assert encode(b"a") != encode("a")
+
+    def test_list_nesting(self):
+        assert encode([[1], 2]) != encode([1, [2]])
+        assert encode([b"ab"]) != encode([b"a", b"b"])
+
+    def test_concatenation_ambiguity(self):
+        # [x, y] as a list differs from separate encodings concatenated.
+        assert encode([1, 2]) != encode(1) + encode(2)
+
+
+_values = st.recursive(
+    st.none() | st.booleans() | st.integers()
+    | st.floats(allow_nan=False) | st.binary(max_size=64)
+    | st.text(max_size=32),
+    lambda children: st.lists(children, max_size=4)
+    | st.dictionaries(st.text(max_size=8), children, max_size=4),
+    max_leaves=16,
+)
+
+
+@given(_values)
+def test_roundtrip_property(value):
+    decoded = decode(encode(value))
+    _assert_equivalent(decoded, value)
+
+
+@given(_values, _values)
+def test_injective_property(a, b):
+    if encode(a) == encode(b):
+        _assert_equivalent(a, b)
+
+
+def _assert_equivalent(a, b):
+    """Equality modulo tuple/list and int/float identity subtleties."""
+    if isinstance(a, list) and isinstance(b, (list, tuple)):
+        assert len(a) == len(b)
+        for x, y in zip(a, b):
+            _assert_equivalent(x, y)
+    elif isinstance(a, float) and isinstance(b, float):
+        assert math.copysign(1, a) == math.copysign(1, b) and a == b
+    else:
+        assert type(a) is type(b)
+        assert a == b

@@ -1,0 +1,90 @@
+"""Tests for the protocol parameter set (Figure 4)."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.common.params import PAPER_PARAMS, TEST_PARAMS, ProtocolParams
+
+
+class TestPaperParams:
+    """PAPER_PARAMS must match Figure 4 of the paper exactly."""
+
+    def test_figure4_values(self):
+        assert PAPER_PARAMS.honest_fraction == 0.80
+        assert PAPER_PARAMS.seed_refresh_interval == 1000
+        assert PAPER_PARAMS.tau_proposer == 26
+        assert PAPER_PARAMS.tau_step == 2000
+        assert PAPER_PARAMS.t_step == 0.685
+        assert PAPER_PARAMS.tau_final == 10_000
+        assert PAPER_PARAMS.t_final == 0.74
+        assert PAPER_PARAMS.max_steps == 150
+        assert PAPER_PARAMS.lambda_priority == 5.0
+        assert PAPER_PARAMS.lambda_block == 60.0
+        assert PAPER_PARAMS.lambda_step == 20.0
+        assert PAPER_PARAMS.lambda_stepvar == 5.0
+
+    def test_vote_thresholds(self):
+        assert PAPER_PARAMS.step_vote_threshold == pytest.approx(1370.0)
+        assert PAPER_PARAMS.final_vote_threshold == pytest.approx(7400.0)
+
+
+class TestValidation:
+    def test_honest_fraction_must_exceed_two_thirds(self):
+        with pytest.raises(ValueError):
+            ProtocolParams(honest_fraction=0.5)
+
+    def test_honest_fraction_cannot_exceed_one(self):
+        with pytest.raises(ValueError):
+            ProtocolParams(honest_fraction=1.5)
+
+    def test_thresholds_must_exceed_two_thirds(self):
+        with pytest.raises(ValueError):
+            ProtocolParams(t_step=0.5)
+        with pytest.raises(ValueError):
+            ProtocolParams(t_final=0.66)
+
+    def test_committee_sizes_positive(self):
+        with pytest.raises(ValueError):
+            ProtocolParams(tau_step=0)
+
+    def test_timeouts_positive(self):
+        with pytest.raises(ValueError):
+            ProtocolParams(lambda_step=0)
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            PAPER_PARAMS.tau_step = 5  # type: ignore[misc]
+
+
+class TestScaled:
+    def test_scaling_preserves_thresholds(self):
+        scaled = PAPER_PARAMS.scaled(0.01)
+        assert scaled.t_step == PAPER_PARAMS.t_step
+        assert scaled.t_final == PAPER_PARAMS.t_final
+        assert scaled.tau_step == 20
+        assert scaled.tau_final == 100
+
+    def test_scaling_floors(self):
+        tiny = PAPER_PARAMS.scaled(1e-6)
+        assert tiny.tau_step >= 8
+        assert tiny.tau_final >= 12
+        assert tiny.tau_proposer >= 3
+
+    def test_scaling_overrides(self):
+        scaled = PAPER_PARAMS.scaled(0.5, lambda_step=1.0)
+        assert scaled.lambda_step == 1.0
+        assert scaled.tau_step == 1000
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            PAPER_PARAMS.scaled(0)
+
+    def test_test_params_have_margin(self):
+        # Expected committee must clear the threshold by a wide margin for
+        # the default 20-user x 10-unit test population (see params.py).
+        assert TEST_PARAMS.tau_step * TEST_PARAMS.t_step < TEST_PARAMS.tau_step
+        assert TEST_PARAMS.tau_step >= 4 * (
+            TEST_PARAMS.tau_step - TEST_PARAMS.step_vote_threshold) ** 0.5

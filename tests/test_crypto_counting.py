@@ -1,0 +1,52 @@
+"""Tests for the op-counting backend wrapper."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import SignatureError
+from repro.crypto.backend import FastBackend
+from repro.crypto.counting import CountingBackend, CryptoOpCounts
+from repro.crypto.hashing import H
+
+
+@pytest.fixture
+def counting():
+    return CountingBackend(FastBackend())
+
+
+class TestCounting:
+    def test_all_operations_counted(self, counting):
+        kp = counting.keypair(H(b"c-user"))
+        signature = counting.sign(kp.secret, b"m")
+        counting.verify(kp.public, b"m", signature)
+        vrf_hash, proof = counting.vrf_prove(kp.secret, b"a")
+        counting.vrf_verify(kp.public, proof, b"a")
+        counts = counting.counts
+        assert counts.keypairs == 1
+        assert counts.signs == 1
+        assert counts.verifies == 1
+        assert counts.vrf_proves == 1
+        assert counts.vrf_verifies == 1
+        assert counts.total_verifications == 2
+
+    def test_failed_verify_still_counted(self, counting):
+        kp = counting.keypair(H(b"c-user"))
+        with pytest.raises(SignatureError):
+            counting.verify(kp.public, b"m", b"\x00" * 32)
+        assert counting.counts.verifies == 1
+
+    def test_results_delegate_to_inner(self, counting):
+        inner = counting.inner
+        kp = counting.keypair(H(b"c-user"))
+        assert counting.sign(kp.secret, b"m") == inner.sign(kp.secret, b"m")
+        assert counting.vrf_prove(kp.secret, b"x") == inner.vrf_prove(
+            kp.secret, b"x")
+
+    def test_cpu_estimate_scales_with_ops(self):
+        few = CryptoOpCounts(verifies=10)
+        many = CryptoOpCounts(verifies=1000)
+        assert many.cpu_seconds() == pytest.approx(100 * few.cpu_seconds())
+
+    def test_name_reflects_inner(self, counting):
+        assert "fast" in counting.name

@@ -1,0 +1,143 @@
+"""Tests for Merkle commitments and forward-secure ephemeral keys (§11)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import CryptoError
+from repro.crypto.backend import FastBackend
+from repro.crypto.ephemeral import EphemeralKeyChain, verify_ephemeral_key
+from repro.crypto.hashing import H
+from repro.crypto.merkle import merkle_proof, merkle_root, verify_merkle
+
+
+class TestMerkle:
+    def test_single_leaf(self):
+        leaves = [b"only"]
+        proof = merkle_proof(leaves, 0)
+        assert verify_merkle(merkle_root(leaves), b"only", proof)
+
+    def test_all_leaves_provable(self):
+        leaves = [bytes([i]) * 4 for i in range(7)]  # odd count
+        root = merkle_root(leaves)
+        for i, leaf in enumerate(leaves):
+            assert verify_merkle(root, leaf, merkle_proof(leaves, i))
+
+    def test_wrong_leaf_rejected(self):
+        leaves = [bytes([i]) for i in range(8)]
+        root = merkle_root(leaves)
+        proof = merkle_proof(leaves, 3)
+        assert not verify_merkle(root, b"forged", proof)
+
+    def test_wrong_position_rejected(self):
+        leaves = [bytes([i]) for i in range(8)]
+        root = merkle_root(leaves)
+        proof_for_3 = merkle_proof(leaves, 3)
+        assert not verify_merkle(root, leaves[4], proof_for_3)
+
+    def test_root_depends_on_order(self):
+        assert merkle_root([b"a", b"b"]) != merkle_root([b"b", b"a"])
+
+    def test_leaf_node_domain_separation(self):
+        """An interior node value must not be acceptable as a leaf."""
+        leaves = [b"a", b"b", b"c", b"d"]
+        root = merkle_root(leaves)
+        # The root of a 2-leaf subtree is an interior hash; presenting it
+        # as a leaf with a shortened proof must fail.
+        sub = merkle_root([b"a", b"b"])
+        short_proof = merkle_proof([b"x", b"y"], 0)  # arbitrary 1-level
+        assert not verify_merkle(root, sub, short_proof)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            merkle_root([])
+
+    def test_index_bounds(self):
+        with pytest.raises(IndexError):
+            merkle_proof([b"a"], 1)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.binary(min_size=1, max_size=16), min_size=1,
+                max_size=20),
+       st.data())
+def test_merkle_roundtrip_property(leaves, data):
+    index = data.draw(st.integers(min_value=0, max_value=len(leaves) - 1))
+    root = merkle_root(leaves)
+    assert verify_merkle(root, leaves[index], merkle_proof(leaves, index))
+
+
+class TestEphemeralKeyChain:
+    def _chain(self, backend=None):
+        backend = backend or FastBackend()
+        return backend, EphemeralKeyChain(
+            backend, H(b"master"), first_round=5, num_rounds=3,
+            steps=["reduction_one", "1", "2", "final"])
+
+    def test_disclose_and_verify(self):
+        backend, chain = self._chain()
+        key = chain.use_key(6, "1")
+        assert verify_ephemeral_key(chain.root, key.keypair.public, 6,
+                                    "1", key.proof)
+
+    def test_signing_with_disclosed_key(self):
+        backend, chain = self._chain()
+        key = chain.use_key(5, "final")
+        signature = backend.sign(key.keypair.secret, b"vote payload")
+        backend.verify(key.keypair.public, b"vote payload", signature)
+
+    def test_key_erased_after_use(self):
+        """Forward security: a used slot cannot be re-derived, so a
+        later compromise cannot re-sign an old step."""
+        _, chain = self._chain()
+        chain.use_key(6, "1")
+        with pytest.raises(KeyError):
+            chain.use_key(6, "1")
+
+    def test_slot_binding(self):
+        """A key disclosed for one slot does not verify for another."""
+        _, chain = self._chain()
+        key = chain.use_key(6, "1")
+        assert not verify_ephemeral_key(chain.root, key.keypair.public,
+                                        6, "2", key.proof)
+        assert not verify_ephemeral_key(chain.root, key.keypair.public,
+                                        7, "1", key.proof)
+
+    def test_foreign_key_rejected(self):
+        backend, chain = self._chain()
+        intruder = backend.keypair(H(b"intruder"))
+        key = chain.use_key(6, "2")
+        assert not verify_ephemeral_key(chain.root, intruder.public, 6,
+                                        "2", key.proof)
+
+    def test_out_of_window_rejected(self):
+        _, chain = self._chain()
+        with pytest.raises(KeyError):
+            chain.use_key(99, "1")
+        with pytest.raises(KeyError):
+            chain.use_key(5, "unknown-step")
+
+    def test_slot_accounting(self):
+        _, chain = self._chain()
+        assert chain.remaining_slots() == 12
+        chain.use_key(5, "1")
+        assert chain.remaining_slots() == 11
+
+    def test_deterministic_commitment(self):
+        backend = FastBackend()
+        a = EphemeralKeyChain(backend, H(b"m"), 0, 2, ["1"])
+        b = EphemeralKeyChain(backend, H(b"m"), 0, 2, ["1"])
+        assert a.root == b.root
+        c = EphemeralKeyChain(backend, H(b"other"), 0, 2, ["1"])
+        assert c.root != a.root
+
+    def test_master_secret_validated(self):
+        with pytest.raises(CryptoError):
+            EphemeralKeyChain(FastBackend(), b"short", 0, 1, ["1"])
+
+    def test_window_validated(self):
+        with pytest.raises(ValueError):
+            EphemeralKeyChain(FastBackend(), H(b"m"), 0, 0, ["1"])
+        with pytest.raises(ValueError):
+            EphemeralKeyChain(FastBackend(), H(b"m"), 0, 1, [])

@@ -1,0 +1,141 @@
+"""Tests for the experiment harness, metrics, and figure runners.
+
+Runner tests use deliberately tiny deployments — they validate plumbing
+and result shapes; the benchmarks exercise the real sweeps.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.params import PAPER_PARAMS, TEST_PARAMS
+from repro.experiments.costs import expected_certificate_bytes, measure_costs
+from repro.experiments.harness import Simulation, SimulationConfig
+from repro.experiments.latency import flatness, run_latency_point
+from repro.experiments.metrics import LatencySummary, format_table
+from repro.experiments.adversarial import run_adversarial_point
+from repro.experiments.throughput import (
+    paper_scale_projection,
+    run_block_size_point,
+    throughput_table,
+)
+from repro.experiments.timeouts import measure_priority_gossip
+
+
+class TestLatencySummary:
+    def test_percentiles(self):
+        summary = LatencySummary.from_samples([1, 2, 3, 4, 5])
+        assert summary.minimum == 1
+        assert summary.median == 3
+        assert summary.maximum == 5
+        assert summary.count == 5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            LatencySummary.from_samples([])
+
+    def test_row_rounding(self):
+        row = LatencySummary.from_samples([1.23456]).row()
+        assert row["median"] == 1.23
+
+
+class TestFormatTable:
+    def test_alignment_and_content(self):
+        text = format_table(["a", "bee"], [[1, 22], [333, 4]])
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert "333" in lines[3]
+        assert len(lines) == 4
+
+
+class TestSimulationConfig:
+    def test_balance_override_validated(self):
+        config = SimulationConfig(num_users=3, balances=[1, 2])
+        with pytest.raises(ValueError):
+            config.make_balances()
+
+    def test_malicious_requires_class(self):
+        with pytest.raises(ValueError):
+            Simulation(SimulationConfig(num_users=4, num_malicious=1))
+
+    def test_unknown_latency_model(self):
+        with pytest.raises(ValueError):
+            Simulation(SimulationConfig(num_users=4,
+                                        latency_model="quantum"))
+
+
+class TestRunners:
+    def test_latency_point_shape(self):
+        point = run_latency_point(10, seed=1, rounds=1, measure_round=1)
+        assert point.num_users == 10
+        assert point.summary.count == 10
+        assert point.summary.minimum > 0
+
+    def test_flatness_of_identical_points(self):
+        point = run_latency_point(10, seed=1, rounds=1, measure_round=1)
+        assert flatness([point, point]) == 1.0
+
+    def test_block_size_point_segments_positive(self):
+        point = run_block_size_point(5_000, num_users=10, seed=2)
+        assert point.proposal_time > 0
+        assert point.ba_time >= 0
+        assert point.final_step_time >= 0
+        assert point.total > 0
+
+    def test_throughput_table_structure(self):
+        point = run_block_size_point(5_000, num_users=10, seed=2)
+        rows = throughput_table([point])
+        assert rows[0].system == "bitcoin"
+        assert rows[1].system == "algorand"
+        assert rows[1].ratio_vs_bitcoin == pytest.approx(
+            rows[1].bytes_per_hour / rows[0].bytes_per_hour)
+
+    def test_pipelining_final_step_increases_throughput(self):
+        point = run_block_size_point(5_000, num_users=10, seed=2)
+        plain = throughput_table([point])[1]
+        pipelined = throughput_table([point], pipeline_final_step=True)[1]
+        assert pipelined.bytes_per_hour >= plain.bytes_per_hour
+
+    def test_adversarial_point_bounds(self):
+        point = run_adversarial_point(0.2, num_users=10, rounds=1, seed=3)
+        assert point.num_malicious == 2
+        assert point.agreed
+        with pytest.raises(ValueError):
+            run_adversarial_point(0.5)
+
+    def test_costs_report_consistency(self):
+        report = measure_costs(10, rounds=1, seed=4, payload_bytes=2_000)
+        assert report.mean_bytes_sent_per_user > 0
+        assert report.certificate_votes > 0
+        assert report.certificate_overhead > 0
+        assert (report.storage_per_round_unsharded
+                > report.storage_per_round_sharded_10)
+
+    def test_priority_gossip_fast(self):
+        assert measure_priority_gossip(20, seed=5) < 2.0
+
+
+class TestPaperConstants:
+    def test_certificate_size_near_paper_300kb(self):
+        assert 250e3 < expected_certificate_bytes(PAPER_PARAMS) < 400e3
+
+    def test_projection_matches_paper_750mb_hour(self):
+        assert 600e6 < paper_scale_projection() < 900e6
+
+
+class TestDeterministicHarness:
+    def test_submit_payments_deterministic(self):
+        def run():
+            sim = Simulation(SimulationConfig(num_users=8, seed=6))
+            sim.submit_payments(10)
+            sim.run_rounds(1)
+            return sim.nodes[0].chain.tip_hash
+
+        assert run() == run()
+
+    def test_timeout_error_when_rounds_cannot_finish(self):
+        sim = Simulation(SimulationConfig(num_users=8, seed=7))
+        # Freeze the network entirely: no round can complete.
+        sim.network.drop_filter = lambda src, dst, envelope: True
+        with pytest.raises(TimeoutError):
+            sim.run_rounds(1, time_limit=5.0)

@@ -1,0 +1,125 @@
+"""Stateful property tests: the ledger as a random state machine.
+
+Hypothesis drives random sequences of payments, block commits, and fork
+rebuilds against :class:`AccountState`/:class:`Blockchain`, checking the
+invariants consensus depends on after every step:
+
+* total currency is conserved (the sortition denominator ``W`` is fixed);
+* balances never go negative;
+* nonces are strictly sequential per sender;
+* a chain rebuilt from its own blocks reproduces identical state.
+"""
+
+from __future__ import annotations
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.common.errors import InvalidTransaction
+from repro.crypto.backend import FastBackend
+from repro.crypto.hashing import H
+from repro.ledger.block import Block
+from repro.ledger.blockchain import Blockchain
+from repro.ledger.transaction import make_transaction
+from repro.sortition.seed import propose_seed
+
+NUM_USERS = 4
+INITIAL_BALANCE = 25
+
+
+class LedgerMachine(RuleBasedStateMachine):
+    @initialize()
+    def setup(self):
+        self.backend = FastBackend()
+        self.users = [self.backend.keypair(H(b"sm", bytes([i])))
+                      for i in range(NUM_USERS)]
+        self.balances = {kp.public: INITIAL_BALANCE for kp in self.users}
+        self.chain = Blockchain(self.balances, H(b"sm-genesis"), 10)
+        self.pending = []  # transactions staged for the next block
+
+    # --- rules -----------------------------------------------------------
+
+    @rule(sender=st.integers(0, NUM_USERS - 1),
+          recipient=st.integers(0, NUM_USERS - 1),
+          amount=st.integers(1, 40))
+    def stage_payment(self, sender, recipient, amount):
+        if sender == recipient:
+            return
+        sender_kp = self.users[sender]
+        trial = self.chain.state.copy()
+        trial.apply_all(self.pending)
+        nonce = trial.next_nonce(sender_kp.public)
+        tx = make_transaction(self.backend, sender_kp.secret,
+                              sender_kp.public,
+                              self.users[recipient].public, amount, nonce)
+        try:
+            trial.apply(tx)
+        except InvalidTransaction:
+            return  # overspend at current staged state; skip
+        self.pending.append(tx)
+
+    @rule()
+    def commit_block(self):
+        proposer = self.users[0]
+        round_number = self.chain.next_round
+        seed, proof = propose_seed(
+            self.backend, proposer.secret,
+            self.chain.seed_of_round(round_number - 1), round_number)
+        block = Block(
+            round_number=round_number, prev_hash=self.chain.tip_hash,
+            timestamp=float(round_number), seed=seed, seed_proof=proof,
+            proposer=proposer.public, proposer_vrf_hash=H(b"v"),
+            proposer_vrf_proof=b"p", proposer_priority=H(b"v"),
+            transactions=tuple(self.pending),
+        )
+        self.chain.append(block)
+        self.pending = []
+
+    @precondition(lambda self: self.chain.height >= 1)
+    @rule()
+    def rebuild_from_blocks(self):
+        rebuilt = self.chain.fork_from(self.chain.blocks[1:])
+        assert rebuilt.tip_hash == self.chain.tip_hash
+        assert rebuilt.state.weights() == self.chain.state.weights()
+        assert rebuilt.height == self.chain.height
+
+    # --- invariants --------------------------------------------------------
+
+    @invariant()
+    def total_conserved(self):
+        if not hasattr(self, "chain"):
+            return
+        assert self.chain.state.total_weight == NUM_USERS * INITIAL_BALANCE
+
+    @invariant()
+    def no_negative_balances(self):
+        if not hasattr(self, "chain"):
+            return
+        assert all(balance >= 0
+                   for balance in self.chain.state.weights().values())
+
+    @invariant()
+    def weight_history_consistent(self):
+        if not hasattr(self, "chain"):
+            return
+        # The latest snapshot equals live state.
+        assert (self.chain.weights_at(self.chain.height)
+                == self.chain.state.weights())
+
+    @invariant()
+    def staged_transactions_remain_applicable(self):
+        if not hasattr(self, "chain"):
+            return
+        assert self.chain.state.would_accept(self.pending)
+
+
+TestLedgerStateMachine = LedgerMachine.TestCase
+TestLedgerStateMachine.settings = settings(
+    max_examples=25, stateful_step_count=20, deadline=None)

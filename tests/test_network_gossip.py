@@ -1,0 +1,182 @@
+"""Tests for the gossip network and latency models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.common.errors import NetworkError
+from repro.network.gossip import GossipNetwork
+from repro.network.latency import (
+    CITIES,
+    LatencyModel,
+    UniformLatencyModel,
+    base_latency_matrix,
+    great_circle_km,
+)
+from repro.network.message import Envelope
+from repro.sim.loop import Environment
+
+
+def _network(num_nodes=20, seed=0, bandwidth=None, latency=0.01,
+             peers=4):
+    env = Environment()
+    rng = np.random.default_rng(seed)
+    net = GossipNetwork(env, num_nodes, rng, UniformLatencyModel(latency),
+                        peers_per_node=peers, bandwidth_bps=bandwidth)
+    return env, net
+
+
+class TestLatencyModel:
+    def test_matrix_shape_and_symmetry(self):
+        matrix = base_latency_matrix()
+        n = len(CITIES)
+        assert matrix.shape == (n, n)
+        assert np.allclose(matrix, matrix.T)
+
+    def test_same_city_is_fast(self):
+        matrix = base_latency_matrix()
+        assert all(matrix[i, i] < 0.005 for i in range(len(CITIES)))
+
+    def test_intercontinental_is_slow(self):
+        # London (5) to Sydney (16): one-way should exceed 80 ms.
+        matrix = base_latency_matrix()
+        assert matrix[5, 16] > 0.08
+        # and below half a second.
+        assert matrix.max() < 0.5
+
+    def test_great_circle_known_distance(self):
+        # New York to London ~5570 km.
+        km = great_circle_km(40.71, -74.01, 51.51, -0.13)
+        assert 5300 < km < 5800
+
+    def test_user_latency_positive_with_jitter(self):
+        model = LatencyModel(50, np.random.default_rng(0))
+        for _ in range(20):
+            assert model.latency(3, 17) > 0
+
+    def test_uniform_model(self):
+        model = UniformLatencyModel(0.05)
+        assert model.latency(0, 1) == 0.05
+        with pytest.raises(ValueError):
+            UniformLatencyModel(-1)
+
+
+class TestTopology:
+    def test_every_node_has_neighbors(self):
+        _, net = _network(30)
+        for iface in net.interfaces:
+            assert len(iface.neighbors) >= net.peers_per_node
+            assert iface.index not in iface.neighbors
+
+    def test_links_are_bidirectional(self):
+        _, net = _network(30)
+        for iface in net.interfaces:
+            for neighbor in iface.neighbors:
+                assert iface.index in net.interfaces[neighbor].neighbors
+
+    def test_reshuffle_changes_graph(self):
+        _, net = _network(30)
+        before = [tuple(i.neighbors) for i in net.interfaces]
+        net.reshuffle_peers()
+        after = [tuple(i.neighbors) for i in net.interfaces]
+        assert before != after
+
+    def test_too_few_nodes_rejected(self):
+        env = Environment()
+        with pytest.raises(NetworkError):
+            GossipNetwork(env, 1, np.random.default_rng(0),
+                          UniformLatencyModel(0.01))
+
+
+class TestFlooding:
+    def test_broadcast_reaches_everyone(self):
+        env, net = _network(40)
+        net.interfaces[0].broadcast(
+            Envelope(origin=b"o", kind="t", payload=None, size=100))
+        env.run()
+        reached = sum(1 for i in net.interfaces[1:] if i.inbox)
+        assert reached == 39
+
+    def test_duplicates_suppressed(self):
+        env, net = _network(20)
+        envelope = Envelope(origin=b"o", kind="t", payload=None, size=100)
+        net.interfaces[0].broadcast(envelope)
+        env.run()
+        # Each node sees the message exactly once despite flooding.
+        for iface in net.interfaces[1:]:
+            assert len(iface.inbox) == 1
+
+    def test_relay_policy_false_stops_forwarding(self):
+        env, net = _network(30)
+        for iface in net.interfaces:
+            iface.relay_policy = lambda e: False
+        net.interfaces[0].broadcast(
+            Envelope(origin=b"o", kind="t", payload=None, size=100))
+        env.run()
+        # Only direct neighbors receive it.
+        reached = {i.index for i in net.interfaces if i.inbox}
+        assert reached == set(net.interfaces[0].neighbors)
+
+    def test_latency_bounds_propagation_time(self):
+        env, net = _network(40, latency=0.05, bandwidth=None)
+        net.interfaces[0].broadcast(
+            Envelope(origin=b"o", kind="t", payload=None, size=100))
+        env.run()
+        # Diameter of a 40-node random graph with ~8 neighbors is <= 4.
+        assert env.now <= 0.05 * 6
+
+    def test_bandwidth_slows_large_messages(self):
+        env_small, net_small = _network(20, bandwidth=1e6)
+        net_small.interfaces[0].broadcast(
+            Envelope(origin=b"o", kind="t", payload=None, size=100))
+        env_small.run()
+        t_small = env_small.now
+
+        env_big, net_big = _network(20, bandwidth=1e6)
+        net_big.interfaces[0].broadcast(
+            Envelope(origin=b"o", kind="t", payload=None, size=100_000))
+        env_big.run()
+        assert env_big.now > t_small * 5
+
+    def test_disconnected_node_neither_sends_nor_receives(self):
+        env, net = _network(20)
+        net.interfaces[5].disconnected = True
+        net.interfaces[0].broadcast(
+            Envelope(origin=b"o", kind="t", payload=None, size=100))
+        env.run()
+        assert not net.interfaces[5].inbox
+
+    def test_drop_filter_partitions_network(self):
+        env, net = _network(30)
+        left = set(range(15))
+
+        def drop(src, dst, envelope):
+            return (src in left) != (dst in left)
+
+        net.drop_filter = drop
+        net.interfaces[0].broadcast(
+            Envelope(origin=b"o", kind="t", payload=None, size=100))
+        env.run()
+        reached = {i.index for i in net.interfaces if i.inbox}
+        assert reached <= left
+
+    def test_bytes_accounting(self):
+        env, net = _network(10)
+        net.interfaces[0].broadcast(
+            Envelope(origin=b"o", kind="t", payload=None, size=500))
+        env.run()
+        assert net.total_bytes_sent % 500 == 0
+        assert net.total_bytes_sent >= 500 * len(
+            net.interfaces[0].neighbors)
+
+
+class TestEnvelope:
+    def test_unique_ids(self):
+        a = Envelope(origin=b"o", kind="t", payload=None, size=1)
+        b = Envelope(origin=b"o", kind="t", payload=None, size=1)
+        assert a.msg_id != b.msg_id
+
+    def test_size_validated(self):
+        with pytest.raises(ValueError):
+            Envelope(origin=b"o", kind="t", payload=None, size=0)

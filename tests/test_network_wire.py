@@ -1,0 +1,144 @@
+"""Tests for the wire format: round-trips, tamper detection, calibration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baplus.certificate import build_certificate
+from repro.baplus.messages import make_vote
+from repro.crypto.backend import FastBackend
+from repro.crypto.hashing import H
+from repro.experiments.harness import Simulation, SimulationConfig
+from repro.ledger.block import Block, empty_block
+from repro.ledger.transaction import make_transaction
+from repro.network.message import PRIORITY_MESSAGE_BYTES, VOTE_MESSAGE_BYTES
+from repro.network.wire import (
+    WireError,
+    decode_block,
+    decode_certificate,
+    decode_priority,
+    decode_transaction,
+    decode_vote,
+    encode_block,
+    encode_certificate,
+    encode_priority,
+    encode_transaction,
+    encode_vote,
+    wire_size,
+)
+from repro.node.proposal import PriorityMessage
+
+
+@pytest.fixture
+def backend():
+    return FastBackend()
+
+
+@pytest.fixture
+def sample_tx(backend):
+    alice = backend.keypair(H(b"w-alice"))
+    bob = backend.keypair(H(b"w-bob"))
+    return make_transaction(backend, alice.secret, alice.public,
+                            bob.public, 5, 0, note=b"memo")
+
+
+@pytest.fixture
+def sample_vote(backend):
+    voter = backend.keypair(H(b"w-voter"))
+    return make_vote(backend, voter.secret, voter.public, 3, "1",
+                     H(b"sort"), b"proof" * 10, H(b"prev"), H(b"value"))
+
+
+class TestRoundTrips:
+    def test_transaction(self, sample_tx, backend):
+        decoded = decode_transaction(encode_transaction(sample_tx))
+        assert decoded == sample_tx
+        assert decoded.txid == sample_tx.txid
+        decoded.verify_signature(backend)
+
+    def test_vote(self, sample_vote, backend):
+        decoded = decode_vote(encode_vote(sample_vote))
+        assert decoded == sample_vote
+        assert decoded.signature == sample_vote.signature
+        assert decoded.verify_signature(backend)
+
+    def test_priority(self):
+        message = PriorityMessage(proposer=H(b"p"), round_number=2,
+                                  vrf_hash=H(b"v"), vrf_proof=b"pr" * 40,
+                                  sub_users=3, priority=H(b"best"))
+        assert decode_priority(encode_priority(message)) == message
+
+    def test_block_with_transactions(self, sample_tx):
+        block = Block(round_number=1, prev_hash=H(b"prev"), timestamp=4.2,
+                      seed=H(b"s"), seed_proof=b"sp", proposer=H(b"who"),
+                      proposer_vrf_hash=H(b"v"), proposer_vrf_proof=b"vp",
+                      proposer_priority=H(b"pri"),
+                      transactions=(sample_tx,))
+        decoded = decode_block(encode_block(block))
+        assert decoded.block_hash == block.block_hash
+        assert decoded.transactions == block.transactions
+
+    def test_empty_block(self):
+        block = empty_block(4, H(b"prev"))
+        decoded = decode_block(encode_block(block))
+        assert decoded.is_empty
+        assert decoded.block_hash == block.block_hash
+
+    def test_certificate_via_live_round(self):
+        sim = Simulation(SimulationConfig(num_users=12, seed=71))
+        sim.run_rounds(1)
+        certificate = sim.nodes[0].chain.certificate_at(1)
+        decoded = decode_certificate(encode_certificate(certificate))
+        assert decoded.value == certificate.value
+        assert decoded.votes == certificate.votes
+
+
+class TestErrors:
+    def test_wrong_tag_rejected(self, sample_tx):
+        with pytest.raises(WireError):
+            decode_vote(encode_transaction(sample_tx))
+
+    def test_garbage_rejected(self):
+        with pytest.raises(WireError):
+            decode_block(b"\xff\x00garbage")
+
+    def test_truncated_rejected(self, sample_vote):
+        with pytest.raises(WireError):
+            decode_vote(encode_vote(sample_vote)[:-3])
+
+    def test_wire_size_unknown_type(self):
+        with pytest.raises(TypeError):
+            wire_size(object())  # type: ignore[arg-type]
+
+
+class TestSizeCalibration:
+    """The gossip layer charges bandwidth via constants; they must stay
+    within ~2x of real encoded sizes or the cost model drifts."""
+
+    def test_vote_constant_calibrated(self, sample_vote):
+        actual = wire_size(sample_vote)
+        assert VOTE_MESSAGE_BYTES / 2 <= actual <= VOTE_MESSAGE_BYTES * 2
+
+    def test_priority_constant_calibrated(self):
+        message = PriorityMessage(proposer=H(b"p"), round_number=2,
+                                  vrf_hash=H(b"v"), vrf_proof=b"x" * 80,
+                                  sub_users=3, priority=H(b"best"))
+        actual = wire_size(message)
+        assert (PRIORITY_MESSAGE_BYTES / 2
+                <= actual <= PRIORITY_MESSAGE_BYTES * 2)
+
+    def test_block_size_tracks_payload(self, backend):
+        alice = backend.keypair(H(b"cal-a"))
+        bob = backend.keypair(H(b"cal-b"))
+        txs = tuple(
+            make_transaction(backend, alice.secret, alice.public,
+                             bob.public, 1, n, note=b"\x00" * 100)
+            for n in range(10)
+        )
+        block = Block(round_number=1, prev_hash=H(b"p"), timestamp=1.0,
+                      seed=H(b"s"), seed_proof=b"sp", proposer=H(b"w"),
+                      proposer_vrf_hash=H(b"v"), proposer_vrf_proof=b"vp",
+                      proposer_priority=H(b"pr"), transactions=txs)
+        # The accounting property `block.size` approximates the real
+        # encoding within 25%.
+        assert abs(wire_size(block) - block.size) < 0.25 * block.size

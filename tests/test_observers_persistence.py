@@ -1,0 +1,146 @@
+"""Tests for passive observers, chain persistence, and peer reshuffle."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import LedgerError
+from repro.common.params import TEST_PARAMS
+from repro.experiments.harness import Simulation, SimulationConfig
+from repro.experiments.waiting import run_waiting_point
+from repro.ledger.persistence import (
+    chain_from_bytes,
+    chain_to_bytes,
+    load_chain,
+    save_chain,
+)
+
+
+class TestObservers:
+    """Section 7: 'any user observing the messages can passively
+    participate ... and reach the agreement decision'."""
+
+    @pytest.fixture(scope="class")
+    def observed_sim(self):
+        sim = Simulation(SimulationConfig(num_users=14, seed=81,
+                                          num_observers=3))
+        sim.submit_payments(20)
+        sim.run_rounds(2)
+        return sim
+
+    def test_observers_reach_same_decisions(self, observed_sim):
+        sim = observed_sim
+        assert len(sim.observers) == 3
+        reference = sim.nodes[0].chain
+        for observer in sim.observers:
+            assert observer.chain.height == 2
+            assert observer.chain.tip_hash == reference.tip_hash
+
+    def test_observers_never_vote_or_propose(self, observed_sim):
+        """Zero stake means sortition never selects them: their traffic
+        is pure relay, no originated votes."""
+        for observer in observed_sim.observers:
+            own_votes = [
+                vote
+                for round_number in (1, 2)
+                for step in ("1", "reduction_one", "final")
+                for vote in observer.buffer.messages(round_number, step)
+                if vote.voter == observer.keypair.public
+            ]
+            assert own_votes == []
+
+    def test_observers_hold_no_stake(self, observed_sim):
+        for observer in observed_sim.observers:
+            assert observer.chain.state.balance(
+                observer.keypair.public) == 0
+
+    def test_observer_metrics_match_participants(self, observed_sim):
+        sim = observed_sim
+        for round_number in (1, 2):
+            kinds = {node.metrics.round_record(round_number).kind
+                     for node in sim.nodes}
+            assert kinds == {"final"}
+
+
+class TestPeerReshuffle:
+    def test_reshuffle_each_round_changes_topology(self):
+        sim = Simulation(SimulationConfig(num_users=14, seed=82,
+                                          reshuffle_peers_each_round=True))
+        before = [tuple(iface.neighbors)
+                  for iface in sim.network.interfaces]
+        sim.run_rounds(2)
+        after = [tuple(iface.neighbors) for iface in sim.network.interfaces]
+        assert before != after
+        assert sim.all_chains_equal()
+
+    def test_static_topology_by_default(self):
+        sim = Simulation(SimulationConfig(num_users=14, seed=82))
+        before = [tuple(iface.neighbors)
+                  for iface in sim.network.interfaces]
+        sim.run_rounds(1)
+        after = [tuple(iface.neighbors) for iface in sim.network.interfaces]
+        assert before == after
+
+
+class TestPersistence:
+    @pytest.fixture(scope="class")
+    def finished(self):
+        sim = Simulation(SimulationConfig(num_users=12, seed=83))
+        sim.submit_payments(15)
+        sim.run_rounds(2)
+        return sim
+
+    def _balances(self, sim):
+        return {kp.public: sim.config.initial_balance
+                for kp in sim.keypairs}
+
+    def test_roundtrip(self, finished):
+        sim = finished
+        payload = chain_to_bytes(sim.nodes[0].chain)
+        restored = chain_from_bytes(
+            payload, initial_balances=self._balances(sim),
+            genesis_seed=sim.genesis_seed, params=TEST_PARAMS,
+            backend=sim.backend)
+        assert restored.tip_hash == sim.nodes[0].chain.tip_hash
+        assert restored.state.weights() == sim.nodes[0].chain.state.weights()
+
+    def test_file_roundtrip(self, finished, tmp_path):
+        sim = finished
+        path = tmp_path / "chain.bin"
+        written = save_chain(sim.nodes[0].chain, path)
+        assert written == path.stat().st_size
+        restored = load_chain(
+            path, initial_balances=self._balances(sim),
+            genesis_seed=sim.genesis_seed, params=TEST_PARAMS,
+            backend=sim.backend)
+        assert restored.height == 2
+
+    def test_garbage_rejected(self, finished):
+        with pytest.raises(LedgerError):
+            chain_from_bytes(
+                b"not a chain", initial_balances=self._balances(finished),
+                genesis_seed=finished.genesis_seed, params=TEST_PARAMS,
+                backend=finished.backend)
+
+    def test_tampered_payload_rejected(self, finished):
+        """Flipping one byte of the serialized chain must not produce a
+        quietly-different chain: either decode or revalidation fails."""
+        sim = finished
+        payload = bytearray(chain_to_bytes(sim.nodes[0].chain))
+        payload[len(payload) // 2] ^= 0x01
+        with pytest.raises(Exception):
+            chain_from_bytes(
+                bytes(payload), initial_balances=self._balances(sim),
+                genesis_seed=sim.genesis_seed, params=TEST_PARAMS,
+                backend=sim.backend)
+
+
+class TestWaitingPoint:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_waiting_point(0.0)
+
+    def test_generous_wait_no_empties(self):
+        point = run_waiting_point(2.0, num_users=12, rounds=1, seed=84)
+        assert point.empty_fraction == 0.0
+        assert point.median_latency > 2.0

@@ -1,0 +1,253 @@
+"""Tests for the discrete-event simulation kernel."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.sim.loop import AnyOf, Environment, Timeout
+
+
+class TestScheduling:
+    def test_timers_fire_in_order(self):
+        env = Environment()
+        log = []
+        env.schedule(3, lambda: log.append("c"))
+        env.schedule(1, lambda: log.append("a"))
+        env.schedule(2, lambda: log.append("b"))
+        env.run()
+        assert log == ["a", "b", "c"]
+        assert env.now == 3
+
+    def test_equal_times_fire_in_scheduling_order(self):
+        env = Environment()
+        log = []
+        for name in "abc":
+            env.schedule(1.0, lambda n=name: log.append(n))
+        env.run()
+        assert log == ["a", "b", "c"]
+
+    def test_cancelled_timer_does_not_fire(self):
+        env = Environment()
+        log = []
+        timer = env.schedule(1, lambda: log.append("x"))
+        timer.cancel()
+        env.run()
+        assert log == []
+
+    def test_run_until(self):
+        env = Environment()
+        log = []
+        env.schedule(1, lambda: log.append(1))
+        env.schedule(10, lambda: log.append(10))
+        env.run(until=5)
+        assert log == [1]
+        assert env.now == 5
+
+    def test_negative_delay_rejected(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            env.schedule(-1, lambda: None)
+
+    def test_max_events_guard(self):
+        env = Environment()
+
+        def reschedule():
+            env.schedule(1, reschedule)
+
+        env.schedule(1, reschedule)
+        with pytest.raises(SimulationError):
+            env.run(max_events=100)
+
+    def test_stop_when(self):
+        env = Environment()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            env.schedule(1, tick)
+
+        env.schedule(1, tick)
+        env.run(stop_when=lambda: count[0] >= 5)
+        assert count[0] == 5
+
+
+class TestProcesses:
+    def test_timeout_resumes(self):
+        env = Environment()
+        log = []
+
+        def proc():
+            yield env.timeout(2)
+            log.append(env.now)
+
+        env.process(proc())
+        env.run()
+        assert log == [2.0]
+
+    def test_return_value_via_join(self):
+        env = Environment()
+        results = []
+
+        def child():
+            yield env.timeout(1)
+            return "done"
+
+        def parent():
+            value = yield env.process(child())
+            results.append(value)
+
+        env.process(parent())
+        env.run()
+        assert results == ["done"]
+
+    def test_event_trigger_delivers_value(self):
+        env = Environment()
+        event = env.event()
+        got = []
+
+        def waiter():
+            value = yield event
+            got.append(value)
+
+        env.process(waiter())
+        env.schedule(3, lambda: event.trigger("payload"))
+        env.run()
+        assert got == ["payload"]
+
+    def test_event_double_trigger_rejected(self):
+        env = Environment()
+        event = env.event()
+        event.trigger(1)
+        with pytest.raises(SimulationError):
+            event.trigger(2)
+
+    def test_already_triggered_event_resumes_immediately(self):
+        env = Environment()
+        event = env.event()
+        event.trigger("early")
+        got = []
+
+        def waiter():
+            value = yield event
+            got.append((value, env.now))
+
+        env.process(waiter())
+        env.run()
+        assert got == [("early", 0.0)]
+
+    def test_process_error_surfaces_in_run(self):
+        env = Environment()
+
+        def bad():
+            yield env.timeout(1)
+            raise RuntimeError("boom")
+
+        env.process(bad())
+        with pytest.raises(SimulationError):
+            env.run()
+
+    def test_yielding_garbage_is_an_error(self):
+        env = Environment()
+
+        def bad():
+            yield 42
+
+        env.process(bad())
+        with pytest.raises(SimulationError):
+            env.run()
+
+    def test_interrupt_stops_process(self):
+        env = Environment()
+        log = []
+
+        def proc():
+            yield env.timeout(10)
+            log.append("should not happen")
+
+        process = env.process(proc())
+        env.schedule(1, process.interrupt)
+        env.run()
+        assert log == []
+        assert process.done
+
+
+class TestAnyOf:
+    def test_first_wins(self):
+        env = Environment()
+        got = []
+
+        def proc():
+            result = yield env.any_of([env.timeout(5, "slow"),
+                                       env.timeout(1, "fast")])
+            got.append((result, env.now))
+
+        env.process(proc())
+        env.run()
+        assert got == [((1, "fast"), 1.0)]
+
+    def test_loser_is_disarmed(self):
+        """After AnyOf resolves, the losing timeout must not resume the
+        process again."""
+        env = Environment()
+        resumes = []
+
+        def proc():
+            yield env.any_of([env.timeout(1), env.timeout(2)])
+            resumes.append(env.now)
+            yield env.timeout(10)
+            resumes.append(env.now)
+
+        env.process(proc())
+        env.run()
+        assert resumes == [1.0, 11.0]
+
+    def test_event_and_timeout_race(self):
+        env = Environment()
+        signal = env.signal()
+        got = []
+
+        def proc():
+            index, value = yield env.any_of([signal.next_event(),
+                                             env.timeout(10)])
+            got.append((index, value, env.now))
+
+        env.process(proc())
+        env.schedule(2, lambda: signal.pulse("hello"))
+        env.run()
+        assert got == [(0, "hello", 2.0)]
+
+    def test_empty_anyof_rejected(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            AnyOf([])
+
+
+class TestSignal:
+    def test_signal_reusable(self):
+        env = Environment()
+        signal = env.signal()
+        got = []
+
+        def listener():
+            for _ in range(3):
+                value = yield signal.next_event()
+                got.append(value)
+
+        env.process(listener())
+        for i, delay in enumerate((1, 2, 3)):
+            env.schedule(delay, lambda i=i: signal.pulse(i))
+        env.run()
+        assert got == [0, 1, 2]
+
+    def test_pulse_without_waiters_is_noop(self):
+        env = Environment()
+        signal = env.signal()
+        signal.pulse("ignored")
+        env.run()
+
+
+class TestTimeoutValidation:
+    def test_negative_rejected(self):
+        with pytest.raises(SimulationError):
+            Timeout(-0.5)

@@ -1,0 +1,199 @@
+"""Tests for cryptographic sortition (Algorithms 1 and 2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import SortitionError
+from repro.crypto.backend import FastBackend
+from repro.crypto.hashing import H
+from repro.sortition.selection import (
+    hash_to_fraction,
+    selection_probability,
+    sortition,
+    sub_users_selected,
+    verify_sort,
+)
+
+
+def _hash_for_fraction(fraction: float) -> bytes:
+    """A 32-byte 'VRF hash' whose hash_to_fraction is ~fraction."""
+    top = int(fraction * (1 << 53))
+    return (top << 11).to_bytes(8, "big") + bytes(24)
+
+
+class TestHashToFraction:
+    def test_zero(self):
+        assert hash_to_fraction(bytes(32)) == 0.0
+
+    def test_all_ones_below_one(self):
+        assert 0.99 < hash_to_fraction(b"\xff" * 32) < 1.0
+
+    def test_monotone(self):
+        low = _hash_for_fraction(0.2)
+        high = _hash_for_fraction(0.8)
+        assert hash_to_fraction(low) < hash_to_fraction(high)
+
+    def test_empty_hash_rejected(self):
+        with pytest.raises(SortitionError):
+            hash_to_fraction(b"")
+
+
+class TestSubUsersSelected:
+    def test_zero_weight_never_selected(self):
+        assert sub_users_selected(H(b"x"), 0, 10, 100) == 0
+
+    def test_result_bounded_by_weight(self):
+        for i in range(16):
+            j = sub_users_selected(H(bytes([i])), 5, 10, 100)
+            assert 0 <= j <= 5
+
+    def test_low_fraction_gives_zero(self):
+        # fraction ~0 falls in the j=0 interval when p is small.
+        assert sub_users_selected(_hash_for_fraction(0.0), 10, 1, 1000) == 0
+
+    def test_high_fraction_gives_positive(self):
+        # fraction ~1 falls in the top interval.
+        j = sub_users_selected(_hash_for_fraction(0.999999), 10, 5, 100)
+        assert j >= 1
+
+    def test_certain_selection_when_p_is_one(self):
+        assert sub_users_selected(H(b"x"), 7, 100, 100) == 7
+
+    def test_validates_inputs(self):
+        with pytest.raises(SortitionError):
+            sub_users_selected(H(b"x"), -1, 10, 100)
+        with pytest.raises(SortitionError):
+            sub_users_selected(H(b"x"), 5, 10, 0)
+        with pytest.raises(SortitionError):
+            sub_users_selected(H(b"x"), 101, 10, 100)
+        with pytest.raises(SortitionError):
+            sub_users_selected(H(b"x"), 5, 0, 100)
+
+    def test_exact_and_scipy_paths_agree(self):
+        """The exact recurrence (w <= 64) must agree with scipy's ppf."""
+        from scipy.stats import binom
+        p = 0.07
+        for i in range(64):
+            fraction = hash_to_fraction(H(bytes([i])))
+            exact = sub_users_selected(H(bytes([i])), 50, p * 1000, 1000)
+            scipy_j = int(binom.ppf(fraction, 50, p))
+            assert exact == scipy_j
+
+    def test_expected_selection_count(self):
+        """Across many users the mean number selected approximates tau."""
+        tau, weight, total = 40, 10, 1000
+        selections = [
+            sub_users_selected(H(b"seed", bytes([i])), weight, tau, total)
+            for i in range(100)  # 100 users x 10 units == total weight
+        ]
+        assert 25 <= sum(selections) <= 55  # tau=40, sigma~6
+
+    def test_sybil_invariance_distributional(self):
+        """Splitting weight w into k pseudonyms leaves the *distribution*
+        of total selected sub-users unchanged (binomial convolution,
+        section 5.1). Checked by comparing means over many trials."""
+        rng = np.random.default_rng(0)
+        tau, total = 50, 10_000
+        single, split = [], []
+        for trial in range(300):
+            whole_hash = H(b"whole", trial.to_bytes(4, "big"))
+            single.append(sub_users_selected(whole_hash, 40, tau, total))
+            parts = 0
+            for piece in range(4):
+                piece_hash = H(b"piece", trial.to_bytes(4, "big"),
+                               bytes([piece]))
+                parts += sub_users_selected(piece_hash, 10, tau, total)
+            split.append(parts)
+        # E[j] = w * tau / W = 0.2 in both cases.
+        assert abs(np.mean(single) - np.mean(split)) < 0.12
+        assert abs(np.mean(single) - 0.2) < 0.1
+
+
+class TestSortitionEndToEnd:
+    def setup_method(self):
+        self.backend = FastBackend()
+        self.kp = self.backend.keypair(H(b"sortition-user"))
+
+    def test_prove_then_verify(self):
+        proof = sortition(self.backend, self.kp.secret, b"seed", 10,
+                          b"role", 50, 100)
+        j = verify_sort(self.backend, self.kp.public, proof.vrf_hash,
+                        proof.vrf_proof, b"seed", 10, b"role", 50, 100)
+        assert j == proof.j
+
+    def test_verify_rejects_wrong_seed(self):
+        proof = sortition(self.backend, self.kp.secret, b"seed", 50,
+                          b"role", 100, 100)
+        assert proof.j > 0  # p=0.5, w=100: overwhelmingly selected
+        assert verify_sort(self.backend, self.kp.public, proof.vrf_hash,
+                           proof.vrf_proof, b"other-seed", 50, b"role",
+                           100, 100) == 0
+
+    def test_verify_rejects_wrong_role(self):
+        proof = sortition(self.backend, self.kp.secret, b"seed", 50,
+                          b"role", 100, 100)
+        assert verify_sort(self.backend, self.kp.public, proof.vrf_hash,
+                           proof.vrf_proof, b"seed", 50, b"other", 100,
+                           100) == 0
+
+    def test_verify_rejects_forged_hash(self):
+        proof = sortition(self.backend, self.kp.secret, b"seed", 50,
+                          b"role", 100, 100)
+        assert verify_sort(self.backend, self.kp.public, H(b"forged"),
+                           proof.vrf_proof, b"seed", 50, b"role", 100,
+                           100) == 0
+
+    def test_verify_uses_claimed_weight(self):
+        """A user cannot inflate their weight: the verifier looks the
+        weight up in the ledger, and j is recomputed from it."""
+        proof = sortition(self.backend, self.kp.secret, b"seed", 10,
+                          b"role", 100, 100)
+        j_honest = verify_sort(self.backend, self.kp.public,
+                               proof.vrf_hash, proof.vrf_proof, b"seed",
+                               10, b"role", 100, 100)
+        j_zero_weight = verify_sort(self.backend, self.kp.public,
+                                    proof.vrf_hash, proof.vrf_proof,
+                                    b"seed", 10, b"role", 0, 100)
+        assert j_honest > 0
+        assert j_zero_weight == 0
+
+    def test_selection_is_private(self):
+        """Without the secret key, selection is not predictable from
+        public data: different users' outcomes are independent."""
+        outcomes = []
+        for i in range(30):
+            kp = self.backend.keypair(H(b"user", bytes([i])))
+            proof = sortition(self.backend, kp.secret, b"seed", 15,
+                              b"role", 1, 30)
+            outcomes.append(proof.j)
+        assert 0 < sum(outcomes) < 30  # some selected, some not
+
+
+class TestSelectionProbability:
+    def test_zero_weight(self):
+        assert selection_probability(0, 10, 100) == 0.0
+
+    def test_full_weight(self):
+        assert selection_probability(100, 100, 100) == 1.0
+
+    def test_monotone_in_weight(self):
+        probabilities = [selection_probability(w, 10, 1000)
+                         for w in (1, 5, 20, 100)]
+        assert probabilities == sorted(probabilities)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    weight=st.integers(min_value=0, max_value=200),
+    tau=st.integers(min_value=1, max_value=100),
+    data=st.binary(min_size=8, max_size=32),
+)
+def test_sub_users_selected_properties(weight, tau, data):
+    total = 1000
+    j = sub_users_selected(H(data), weight, tau, total)
+    assert 0 <= j <= weight
+    # Determinism.
+    assert j == sub_users_selected(H(data), weight, tau, total)
