@@ -1,0 +1,84 @@
+"""E13 — message-path runtime microbenchmark.
+
+Unlike E1–E12 this does not reproduce a paper figure: it measures the
+*simulator itself* — wall-clock and events/sec for a 200-user × 5-round
+deployment — and records the result in ``BENCH_runtime.json`` at the
+repo root. The committed baseline is the same run measured before the
+message-path runtime landed (routed dispatch, shared verification
+cache, immediate queue, batched arrivals); the acceptance bar for that
+refactor was a ≥2x wall-clock speedup.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from conftest import print_table
+
+from repro.experiments.harness import Simulation, SimulationConfig
+from repro.experiments.metrics import format_table
+
+#: Pre-refactor wall-clock of this exact workload (200 users, 5 rounds,
+#: seed 1, 200 payments), measured on the reference container at commit
+#: e611324 before the runtime refactor.
+BASELINE_WALL_SECONDS = 450.9
+
+NUM_USERS = 200
+ROUNDS = 5
+SEED = 1
+PAYMENTS = 200
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_runtime.json"
+
+
+def _workload() -> tuple[Simulation, float]:
+    start = time.perf_counter()
+    sim = Simulation(SimulationConfig(num_users=NUM_USERS, seed=SEED))
+    sim.submit_payments(PAYMENTS)
+    sim.run_rounds(ROUNDS)
+    return sim, time.perf_counter() - start
+
+
+def test_runtime_throughput(benchmark):
+    sim, wall = benchmark.pedantic(_workload, rounds=1, iterations=1)
+
+    assert sim.all_chains_equal()
+    events = sim.env.events_processed
+    cache = sim.verification_cache.stats()
+    speedup = BASELINE_WALL_SECONDS / wall
+    result = {
+        "workload": {
+            "num_users": NUM_USERS,
+            "rounds": ROUNDS,
+            "seed": SEED,
+            "payments": PAYMENTS,
+        },
+        "wall_seconds": round(wall, 2),
+        "events_processed": events,
+        "events_per_second": round(events / wall),
+        "messages_delivered": sim.network.messages_delivered,
+        "simulated_seconds": round(sim.env.now, 3),
+        "verification_cache": cache,
+        "baseline_wall_seconds": BASELINE_WALL_SECONDS,
+        "speedup_vs_baseline": round(speedup, 2),
+    }
+    RESULT_PATH.write_text(json.dumps(result, indent=2) + "\n")
+
+    rows = [
+        ["wall clock", f"{wall:.1f} s",
+         f"baseline {BASELINE_WALL_SECONDS:.1f} s"],
+        ["speedup", f"{speedup:.2f}x", "bar: >= 2x"],
+        ["events/sec", f"{events / wall:,.0f}", f"{events:,} events"],
+        ["messages delivered", f"{sim.network.messages_delivered:,}", ""],
+        ["cache hit rate", f"{cache['hit_rate']:.3f}",
+         f"{cache['hits']:,} hits / {cache['misses']:,} misses"],
+    ]
+    print_table("Runtime: 200 users x 5 rounds",
+                format_table(["metric", "value", "note"], rows))
+
+    assert speedup >= 2.0, (
+        f"runtime refactor regressed: {wall:.1f}s vs "
+        f"{BASELINE_WALL_SECONDS:.1f}s baseline ({speedup:.2f}x)"
+    )

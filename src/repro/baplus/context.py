@@ -8,7 +8,7 @@ is immutable for the duration of one round's agreement.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from types import MappingProxyType
 from typing import Mapping
 

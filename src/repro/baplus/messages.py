@@ -30,10 +30,17 @@ class VoteMessage:
     signature: bytes = field(default=b"", compare=False)
 
     def signing_payload(self) -> bytes:
-        return encode([
-            "vote", self.round_number, self.step, self.sorthash,
-            self.sortproof, self.prev_hash, self.value,
-        ])
+        # Votes are immutable and re-verified at every relay hop; cache
+        # the canonical encoding on the instance (frozen dataclass, so
+        # bypass __setattr__).
+        cached = getattr(self, "_signing_payload", None)
+        if cached is None:
+            cached = encode([
+                "vote", self.round_number, self.step, self.sorthash,
+                self.sortproof, self.prev_hash, self.value,
+            ])
+            object.__setattr__(self, "_signing_payload", cached)
+        return cached
 
     def verify_signature(self, backend: CryptoBackend) -> bool:
         return backend.is_valid_signature(

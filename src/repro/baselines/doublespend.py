@@ -16,7 +16,6 @@ comparison helpers below put side by side.
 
 from __future__ import annotations
 
-import math
 
 from scipy.stats import nbinom
 

@@ -1,6 +1,7 @@
 """Cryptographic substrate: hashing, Ed25519, VRF, pluggable backends."""
 
 from repro.crypto.backend import (
+    CachedBackend,
     CryptoBackend,
     Ed25519Backend,
     FastBackend,
@@ -21,6 +22,7 @@ __all__ = [
     "HASHLEN_BITS",
     "hash_fraction",
     "hash_to_int",
+    "CachedBackend",
     "CryptoBackend",
     "Ed25519Backend",
     "FastBackend",

@@ -25,11 +25,20 @@ class CryptoOpCounts:
     verifies: int = 0
     vrf_proves: int = 0
     vrf_verifies: int = 0
+    #: Verifications answered by the shared :class:`VerificationCache`
+    #: (see :mod:`repro.runtime.cache`) instead of reaching this backend.
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     @property
     def total_verifications(self) -> int:
         """The ops the paper identifies as the CPU bottleneck."""
         return self.verifies + self.vrf_verifies
+
+    @property
+    def verifications_avoided(self) -> int:
+        """Crypto ops the verification cache removed from the hot path."""
+        return self.cache_hits
 
     def cpu_seconds(self, sign_cost: float = 25e-6,
                     verify_cost: float = 60e-6,

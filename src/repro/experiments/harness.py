@@ -14,7 +14,7 @@ import numpy as np
 
 from repro.common.encoding import encode
 from repro.common.params import ProtocolParams, TEST_PARAMS
-from repro.crypto.backend import CryptoBackend, FastBackend
+from repro.crypto.backend import CachedBackend, CryptoBackend, FastBackend
 from repro.crypto.hashing import H
 from repro.ledger.blockchain import Blockchain
 from repro.ledger.transaction import make_transaction
@@ -22,6 +22,7 @@ from repro.network.gossip import GossipNetwork
 from repro.network.latency import LatencyModel, UniformLatencyModel
 from repro.node.agent import Node
 from repro.node.registry import BlockRegistry
+from repro.runtime.cache import VerificationCache
 from repro.sim.loop import Environment
 
 
@@ -55,6 +56,15 @@ class SimulationConfig:
     #: "Algorand replaces gossip peers each round, which helps users
     #: recover from being possibly disconnected").
     reshuffle_peers_each_round: bool = False
+    #: Share context-independent verification verdicts (VRF proofs,
+    #: envelope signatures) across nodes via a per-simulation
+    #: :class:`repro.runtime.VerificationCache`. Context-dependent checks
+    #: (seeds, balances, vote counting) still run per node. ``False``
+    #: reproduces the pre-cache behavior bit-for-bit.
+    use_verification_cache: bool = True
+    #: Rounds of gossip duplicate-suppression memory per node; ``None``
+    #: keeps every msg_id forever (unbounded, pre-refactor behavior).
+    seen_horizon_rounds: int | None = 2
 
     def make_balances(self) -> list[int]:
         if self.balances is not None:
@@ -73,7 +83,18 @@ class Simulation:
                  malicious_class: type[Node] | None = None) -> None:
         self.config = config
         self.env = Environment()
-        self.backend = backend if backend is not None else FastBackend()
+        inner_backend = backend if backend is not None else FastBackend()
+        if config.use_verification_cache:
+            # Wrap outermost: a cache hit never reaches an inner
+            # CountingBackend's tally, only its cache_hits mirror.
+            self.verification_cache: VerificationCache | None = (
+                VerificationCache(counts=getattr(inner_backend, "counts",
+                                                 None)))
+            self.backend = CachedBackend(inner_backend,
+                                         self.verification_cache)
+        else:
+            self.verification_cache = None
+            self.backend = inner_backend
         self.rng = np.random.default_rng(config.seed)
         self.genesis_seed = H(b"genesis", encode(config.seed))
         self.registry = BlockRegistry()
@@ -89,6 +110,7 @@ class Simulation:
             self.env, total_nodes, self.rng, latency,
             peers_per_node=config.peers_per_node,
             bandwidth_bps=config.bandwidth_bps,
+            seen_horizon_rounds=config.seen_horizon_rounds,
         )
 
         # Observers get keys but zero stake (appended after the users).
@@ -119,9 +141,12 @@ class Simulation:
                 registry=self.registry,
             )
             self.nodes.append(node)
-        if config.reshuffle_peers_each_round:
-            self.nodes[0].on_commit = (
-                lambda round_number: self.network.reshuffle_peers())
+        def on_commit(round_number: int) -> None:
+            self.network.end_round()
+            if config.reshuffle_peers_each_round:
+                self.network.reshuffle_peers()
+
+        self.nodes[0].on_commit = on_commit
 
     @property
     def observers(self) -> list[Node]:
@@ -140,6 +165,8 @@ class Simulation:
         """
         nonces: dict[int, int] = {}
         weighted = self.config.num_users  # observers neither pay nor earn
+        if weighted < 2:
+            return  # a lone user has nobody to pay (no self-payments)
         for k in range(count):
             sender_index = k % weighted
             sender = self.nodes[sender_index]
@@ -165,6 +192,17 @@ class Simulation:
                    max_events: int | None = None) -> None:
         """Start every node and run until all reach ``rounds`` blocks."""
         processes = [node.start(rounds) for node in self.nodes]
+        # O(1) stop check: scanning every process per event dominated the
+        # loop at hundreds of nodes. Done-callbacks fire synchronously
+        # inside the finishing event, so the counter is always current.
+        pending = len(processes)
+
+        def note_done(_process: object) -> None:
+            nonlocal pending
+            pending -= 1
+
+        for process in processes:
+            process.add_done_callback(note_done)
         limit = time_limit
         if limit is None:
             # Generous per-round ceiling; hitting it is a test failure,
@@ -174,14 +212,15 @@ class Simulation:
                          * self.config.params.max_steps)
             limit = per_round * (rounds + 1)
         self.env.run(until=limit, max_events=max_events,
-                     stop_when=lambda: all(p.done for p in processes))
+                     stop_when=lambda: pending == 0)
         unfinished = [node.index for node, process in zip(self.nodes,
                                                           processes)
                       if not process.done]
         if unfinished:
+            ellipsis = "..." if len(unfinished) > 5 else ""
             raise TimeoutError(
-                f"nodes {unfinished[:5]}... did not finish {rounds} rounds "
-                f"by t={limit}"
+                f"nodes {unfinished[:5]}{ellipsis} did not finish {rounds} "
+                f"rounds by t={limit}"
             )
 
     # ------------------------------------------------------------------

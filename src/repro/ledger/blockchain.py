@@ -59,6 +59,15 @@ class Blockchain:
         return tuple(self._blocks)
 
     @property
+    def initial_balances(self) -> dict[bytes, int]:
+        """Genesis balances (copy) — what a bootstrapping user starts from."""
+        return dict(self._initial_balances)
+
+    @property
+    def genesis_seed(self) -> bytes:
+        return self._genesis_seed
+
+    @property
     def height(self) -> int:
         """Number of agreed rounds (genesis not counted)."""
         return len(self._blocks) - 1

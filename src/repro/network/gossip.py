@@ -27,7 +27,7 @@ from typing import Callable, Protocol
 import numpy as np
 
 from repro.common.errors import NetworkError
-from repro.network.message import Envelope
+from repro.network.message import Envelope, next_msg_id
 from repro.sim.loop import Environment, Signal
 
 
@@ -52,6 +52,8 @@ class NetworkInterface:
         self.index = index
         self.neighbors: list[int] = []
         self._seen: set[int] = set()
+        #: Round-boundary msg-id watermarks driving :meth:`prune_seen`.
+        self._seen_watermarks: deque[int] = deque()
         self.inbox: deque[Envelope] = deque()
         self.receive_signal: Signal = network.env.signal()
         #: Protocol-layer validation: called before relaying a received
@@ -110,18 +112,42 @@ class NetworkInterface:
 
     def _egress_loop(self):
         env = self._network.env
-        bandwidth = self._network.bandwidth_bps
+        network = self._network
+        bandwidth = network.bandwidth_bps
+        urgent = self._egress_urgent
+        bulk = self._egress_bulk
         while True:
-            while self._egress_urgent or self._egress_bulk:
-                if self._egress_urgent:
-                    envelope, dst = self._egress_urgent.popleft()
+            while urgent or bulk:
+                if urgent:
+                    # Drain the urgent lane as one serialized batch: each
+                    # message still occupies the uplink for its own
+                    # 8*size/bw seconds (arrivals carry the cumulative
+                    # offset), but the batch costs one egress wake-up and
+                    # one live heap entry instead of one per neighbor.
+                    batch = list(urgent)
+                    urgent.clear()
+                    offset = 0.0
+                    items = []
+                    for envelope, dst in batch:
+                        if bandwidth is not None:
+                            offset += envelope.size * 8.0 / bandwidth
+                        self.bytes_sent += envelope.size
+                        self.messages_sent += 1
+                        items.append((offset, dst, envelope))
+                    network._transmit_batch(self.index, items)
+                    if offset > 0.0:
+                        # Uplink busy until the batch finishes; newly
+                        # queued messages serialize after it, as before.
+                        yield env.timeout(offset)
                 else:
-                    envelope, dst = self._egress_bulk.popleft()
-                if bandwidth is not None:
-                    yield env.timeout(envelope.size * 8.0 / bandwidth)
-                self.bytes_sent += envelope.size
-                self.messages_sent += 1
-                self._network._transmit(self.index, dst, envelope)
+                    # Bulk transfers stay one-at-a-time so a vote arriving
+                    # mid-block still preempts after the current message.
+                    envelope, dst = bulk.popleft()
+                    if bandwidth is not None:
+                        yield env.timeout(envelope.size * 8.0 / bandwidth)
+                    self.bytes_sent += envelope.size
+                    self.messages_sent += 1
+                    network._transmit(self.index, dst, envelope)
             yield self._egress_signal.next_event()
 
     # --- Receiving --------------------------------------------------------
@@ -135,6 +161,25 @@ class NetworkInterface:
         if self.relay_policy(envelope):
             self._send_to_neighbors(envelope, exclude=from_index)
 
+    # --- Duplicate-suppression hygiene ------------------------------------
+
+    def prune_seen(self, watermark: int, horizon_rounds: int) -> None:
+        """Forget msg_ids more than ``horizon_rounds`` boundaries old.
+
+        ``watermark`` is the process-wide next message id at this round
+        boundary; ids below the watermark recorded ``horizon_rounds``
+        boundaries ago belong to messages created that many rounds back.
+        Dropping them bounds long soak runs: without pruning, ``_seen``
+        grows with every message the simulation ever gossiped. A pruned
+        duplicate that straggles in later is re-accepted once, and the
+        protocol layer's stale-round checks discard it without relaying.
+        """
+        self._seen_watermarks.append(watermark)
+        while len(self._seen_watermarks) > horizon_rounds:
+            cutoff = self._seen_watermarks.popleft()
+            self._seen = {msg_id for msg_id in self._seen
+                          if msg_id >= cutoff}
+
 
 class GossipNetwork:
     """The full peer-to-peer fabric."""
@@ -142,16 +187,22 @@ class GossipNetwork:
     def __init__(self, env: Environment, num_nodes: int,
                  rng: np.random.Generator, latency_model: SupportsLatency,
                  peers_per_node: int = 4,
-                 bandwidth_bps: float | None = 20e6) -> None:
+                 bandwidth_bps: float | None = 20e6,
+                 seen_horizon_rounds: int | None = 2) -> None:
         if num_nodes < 2:
             raise NetworkError("gossip network needs at least 2 nodes")
         if peers_per_node < 1:
             raise NetworkError("peers_per_node must be >= 1")
+        if seen_horizon_rounds is not None and seen_horizon_rounds < 1:
+            raise NetworkError("seen_horizon_rounds must be >= 1 or None")
         self.env = env
         self.rng = rng
         self.latency_model = latency_model
         self.peers_per_node = peers_per_node
         self.bandwidth_bps = bandwidth_bps
+        #: Rounds of duplicate-suppression memory each node keeps; ``None``
+        #: disables pruning (the pre-refactor unbounded behavior).
+        self.seen_horizon_rounds = seen_horizon_rounds
         self.drop_filter: DropFilter | None = None
         self.messages_delivered = 0
         self.interfaces = [NetworkInterface(self, i)
@@ -187,9 +238,44 @@ class GossipNetwork:
             lambda: self._arrive(src, dst, envelope),
         )
 
+    def _transmit_batch(self, src: int,
+                        items: list[tuple[float, int, Envelope]]) -> None:
+        """Batched-arrival path: one schedule for a whole egress batch.
+
+        ``items`` carries ``(serialization_offset, dst, envelope)``; each
+        message arrives at ``offset + latency(src, dst)``, exactly as the
+        per-neighbor path would deliver it, but the whole batch shares one
+        :class:`repro.sim.loop.BatchSchedule` (arrivals landing at the
+        same instant — e.g. under the uniform latency model — share a
+        single event).
+        """
+        drop_filter = self.drop_filter
+        latency = self.latency_model.latency
+        arrivals = []
+        for offset, dst, envelope in items:
+            if drop_filter is not None and drop_filter(src, dst, envelope):
+                continue
+            arrivals.append((offset + latency(src, dst), (dst, envelope)))
+        if not arrivals:
+            return
+
+        def deliver(item: tuple[int, Envelope]) -> None:
+            self.messages_delivered += 1
+            self.interfaces[item[0]]._deliver(item[1], src)
+
+        self.env.schedule_batch(arrivals, deliver)
+
     def _arrive(self, src: int, dst: int, envelope: Envelope) -> None:
         self.messages_delivered += 1
         self.interfaces[dst]._deliver(envelope, src)
+
+    def end_round(self) -> None:
+        """Round boundary: prune every node's duplicate-suppression set."""
+        if self.seen_horizon_rounds is None:
+            return
+        watermark = next_msg_id()
+        for interface in self.interfaces:
+            interface.prune_seen(watermark, self.seen_horizon_rounds)
 
     # --- Cost accounting ----------------------------------------------
 

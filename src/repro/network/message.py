@@ -8,7 +8,6 @@ per kind), and the wire size in bytes (driving bandwidth costs).
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -17,7 +16,36 @@ PRIORITY_MESSAGE_BYTES = 200
 #: Wire size of a committee vote (pk + sig + sortition hash/proof + value).
 VOTE_MESSAGE_BYTES = 250
 
-_id_counter = itertools.count()
+
+class _MessageIdCounter:
+    """Monotone id source; peekable so seen-sets can prune by age.
+
+    Message ids increase in creation order across the whole process, so
+    ``next_msg_id()`` doubles as a watermark: every envelope created
+    before the peek has a strictly smaller id (the basis of
+    :meth:`repro.network.gossip.NetworkInterface.prune_seen`).
+    """
+
+    __slots__ = ("_next",)
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def take(self) -> int:
+        value = self._next
+        self._next = value + 1
+        return value
+
+    def peek(self) -> int:
+        return self._next
+
+
+_id_counter = _MessageIdCounter()
+
+
+def next_msg_id() -> int:
+    """The id the *next* created envelope will get (a pruning watermark)."""
+    return _id_counter.peek()
 
 
 @dataclass(frozen=True)
@@ -28,7 +56,7 @@ class Envelope:
     kind: str
     payload: Any
     size: int
-    msg_id: int = field(default_factory=lambda: next(_id_counter))
+    msg_id: int = field(default_factory=_id_counter.take)
 
     def __post_init__(self) -> None:
         if self.size <= 0:

@@ -1,7 +1,13 @@
 """The Algorand user agent: proposal, round loop, recovery, catch-up."""
 
 from repro.node.agent import Node
-from repro.node.catchup import catch_up_from, replay_chain, verify_final_safety
+from repro.node.catchup import (
+    ChainAnnouncement,
+    ChainSync,
+    catch_up_from,
+    replay_chain,
+    verify_final_safety,
+)
 from repro.node.recovery import (
     ForkProposal,
     RecoveryDaemon,
@@ -29,6 +35,8 @@ __all__ = [
     "priority_of_subuser",
     "make_priority_message",
     "BlockRegistry",
+    "ChainAnnouncement",
+    "ChainSync",
     "replay_chain",
     "catch_up_from",
     "verify_final_safety",

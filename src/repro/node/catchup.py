@@ -10,7 +10,8 @@ the most recent final certificate.
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Mapping
 
 from repro.baplus.certificate import Certificate, verify_certificate
 from repro.baplus.context import BAContext
@@ -19,7 +20,11 @@ from repro.common.params import ProtocolParams
 from repro.crypto.backend import CryptoBackend
 from repro.ledger.block import Block
 from repro.ledger.blockchain import Blockchain
+from repro.network.message import Envelope
 from repro.sortition.seed import fallback_seed, verify_seed
+
+if TYPE_CHECKING:
+    from repro.node.agent import Node
 
 
 def replay_chain(blocks: Iterable[Block],
@@ -112,6 +117,86 @@ def verify_final_safety(chain: Blockchain, *, backend: CryptoBackend,
     )
     verify_certificate(certificate, ctx, backend, params)
     return round_number
+
+
+@dataclass(frozen=True)
+class ChainAnnouncement:
+    """A peer's advertised history: blocks plus their certificates."""
+
+    blocks: tuple[Block, ...]  # rounds 1..n, in order
+    certificates: Mapping[int, Certificate]
+
+    @property
+    def length(self) -> int:
+        return len(self.blocks)
+
+    @property
+    def size(self) -> int:
+        return 200 + sum(block.size for block in self.blocks)
+
+
+class ChainSync:
+    """Gossip-driven catch-up: section 8.3 as a routed message handler.
+
+    Registers a ``"chain"`` handler on the node's
+    :class:`repro.runtime.MessageRouter`. Peers announce their history
+    with :meth:`announce`; a receiver replays any strictly longer
+    announcement from genesis (:func:`replay_chain`, certificate checks
+    included) and adopts it only if every round validates. Invalid or
+    not-longer announcements are not relayed — the validate-before-relay
+    rule of section 8.4 applied to bootstrap traffic.
+    """
+
+    def __init__(self, node: "Node") -> None:
+        self.node = node
+        self.adopted = 0
+        self.rejected = 0
+        node.router.register("chain", self._handle_announcement)
+
+    def announce(self) -> None:
+        """Broadcast this node's chain for lagging peers to replay."""
+        chain = self.node.chain
+        certificates: dict[int, Certificate] = {}
+        for block in chain.blocks[1:]:
+            certificate = chain.certificate_at(block.round_number)
+            if isinstance(certificate, Certificate):
+                certificates[block.round_number] = certificate
+        announcement = ChainAnnouncement(blocks=chain.blocks[1:],
+                                         certificates=certificates)
+        self.node.interface.broadcast(Envelope(
+            origin=self.node.keypair.public, kind="chain",
+            payload=announcement, size=announcement.size,
+        ))
+
+    def _handle_announcement(self, announcement: ChainAnnouncement) -> bool:
+        node = self.node
+        if announcement.length <= node.chain.height:
+            # Nothing to learn, but keep the flood alive for lagging
+            # peers beyond the announcer's neighborhood — provided the
+            # history checks out. Hash chaining makes that cheap: an
+            # announced tip equal to our own block at that height means
+            # the whole announced prefix is ours.
+            return bool(
+                announcement.blocks
+                and (announcement.blocks[-1].block_hash
+                     == node.chain.block_at(announcement.length).block_hash)
+            )
+        try:
+            replayed = replay_chain(
+                announcement.blocks, announcement.certificates,
+                initial_balances=node.chain.initial_balances,
+                genesis_seed=node.chain.genesis_seed,
+                params=node.params, backend=node.backend,
+            )
+        except (InvalidCertificate, LedgerError):
+            self.rejected += 1
+            return False  # never relay a history that failed validation
+        node.chain = replayed
+        self.adopted += 1
+        return True
+
+    def close(self) -> None:
+        self.node.router.unregister("chain")
 
 
 def catch_up_from(node_chain: Blockchain, *, params: ProtocolParams,

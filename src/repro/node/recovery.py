@@ -83,7 +83,9 @@ class RecoverySession:
         self.pre_fork_round = pre_fork_round
         self.proposals: dict[bytes, ForkProposal] = {}
         self._signal = node.env.signal()
-        node.extra_handlers["fork"] = self._handle_proposal
+        # Replace any previous session's handler: recovery retries create
+        # a fresh session per attempt window on the same node.
+        node.router.register("fork", self._handle_proposal, replace=True)
 
     # -- context ---------------------------------------------------------
 
@@ -196,7 +198,7 @@ class RecoverySession:
         node.halted = False
 
     def close(self) -> None:
-        self.node.extra_handlers.pop("fork", None)
+        self.node.router.unregister("fork")
 
 
 def run_recovery(nodes: list[Node], pre_fork_round: int,

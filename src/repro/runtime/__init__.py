@@ -1,0 +1,19 @@
+"""Message-path runtime: routed dispatch + shared verification cache.
+
+This package is the small runtime layer under the Algorand node: a
+:class:`MessageRouter` that subsystems register gossip handlers with
+(replacing hard-coded dispatch chains), and a :class:`VerificationCache`
+that memoizes context-independent crypto checks across every node of a
+simulation (the paper's section 10.1 observation that verification
+dominates CPU, applied to the simulator itself). The cache is wired
+through :class:`repro.crypto.backend.CachedBackend`, which works over
+both the real Ed25519 backend and the fast simulation backend.
+"""
+
+from repro.runtime.cache import VerificationCache
+from repro.runtime.router import MessageRouter
+
+__all__ = [
+    "MessageRouter",
+    "VerificationCache",
+]

@@ -1,0 +1,136 @@
+"""Shared verification cache for the gossip hot path.
+
+Section 10.1 of the paper models crypto verification as the dominant CPU
+cost of running Algorand. In a simulated deployment the cost multiplies:
+a message relayed through the gossip network reaches every node, and a
+naive reproduction re-verifies its VRF proof and signature at each of
+the ~n arrivals. Those checks are *context-independent* — the same
+``(public key, bytes, proof)`` triple verifies identically everywhere —
+so one simulation-wide memo table collapses n verifications into one.
+
+What is safe to memoize and what is not:
+
+* **Safe**: signature validity of exact bytes, VRF proof validity of
+  exact ``(public, proof, alpha)``. Cache keys are the *full
+  verification inputs*, never the envelope ``msg_id`` alone — a message
+  id is sender-assigned and an adversary who reuses one on different
+  contents must not inherit the original's verdict (see the equivocation
+  tests). Negative results are memoized too: a forged signature is
+  forged at every node.
+* **Not safe**: anything evaluated against node-local context — seed
+  lookback, weight tables, one-vote-per-key-per-step, equivocation
+  tracking, balance checks. Those stay per-node in the protocol layer.
+
+Hit/miss counters feed :class:`repro.crypto.counting.CryptoOpCounts` so
+the section 10.3 CPU-cost proxy can report how much verification work
+the cache removed.
+"""
+
+from __future__ import annotations
+
+from itertools import islice
+from typing import Any
+
+#: Key-namespace tags: one cache holds both kinds of check.
+_SIG = 0
+_VRF = 1
+
+
+class VerificationCache:
+    """Memo table for context-independent crypto checks.
+
+    One instance is shared by every node of a simulation (plumbed through
+    :class:`repro.crypto.backend.CachedBackend`). Entries are bounded:
+    past ``max_entries`` the oldest quarter is evicted, which is harmless
+    (a miss merely re-verifies) and keeps adversarial floods of unique
+    invalid messages from growing memory without bound.
+    """
+
+    __slots__ = ("_entries", "max_entries", "hits", "misses", "counts")
+
+    def __init__(self, max_entries: int = 1 << 18,
+                 counts: Any = None) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self._entries: dict[tuple, tuple] = {}
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        #: Optional :class:`repro.crypto.counting.CryptoOpCounts` (or any
+        #: object with ``cache_hits``/``cache_misses``) to mirror into.
+        self.counts = counts
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # -- bookkeeping ---------------------------------------------------
+
+    def _record_hit(self) -> None:
+        self.hits += 1
+        if self.counts is not None:
+            self.counts.cache_hits += 1
+
+    def _record_miss(self) -> None:
+        self.misses += 1
+        if self.counts is not None:
+            self.counts.cache_misses += 1
+        if len(self._entries) >= self.max_entries:
+            drop = max(1, len(self._entries) // 4)
+            for key in list(islice(iter(self._entries), drop)):
+                del self._entries[key]
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def stats(self) -> dict[str, int | float]:
+        """Counters for benchmarks and experiment reports."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+            "entries": len(self._entries),
+        }
+
+    # -- memoized checks -----------------------------------------------
+
+    def verify(self, backend: Any, public: bytes, message: bytes,
+               signature: bytes) -> None:
+        """Memoized ``backend.verify``; re-raises cached failures."""
+        key = (_SIG, public, message, signature)
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._record_hit()
+            if entry[0] is not None:
+                raise entry[0]
+            return
+        self._record_miss()
+        try:
+            backend.verify(public, message, signature)
+        except Exception as exc:
+            self._entries[key] = (exc,)
+            raise
+        self._entries[key] = (None,)
+
+    def vrf_verify(self, backend: Any, public: bytes, proof: bytes,
+                   alpha: bytes) -> bytes:
+        """Memoized ``backend.vrf_verify``; re-raises cached failures."""
+        key = (_VRF, public, proof, alpha)
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._record_hit()
+            if entry[0] is not None:
+                raise entry[0]
+            return entry[1]
+        self._record_miss()
+        try:
+            beta = backend.vrf_verify(public, proof, alpha)
+        except Exception as exc:
+            self._entries[key] = (exc, None)
+            raise
+        self._entries[key] = (None, beta)
+        return beta

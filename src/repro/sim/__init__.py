@@ -2,6 +2,7 @@
 
 from repro.sim.loop import (
     AnyOf,
+    BatchSchedule,
     Environment,
     Event,
     Process,
@@ -16,6 +17,7 @@ __all__ = [
     "Signal",
     "Timeout",
     "AnyOf",
+    "BatchSchedule",
     "Process",
     "Waitable",
 ]

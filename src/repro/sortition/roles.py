@@ -8,6 +8,8 @@ canonically encoded so every node derives identical VRF inputs.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 from repro.common.encoding import encode
 
 #: Step number reserved for the final-consensus committee (section 7.4).
@@ -18,11 +20,13 @@ REDUCTION_ONE = "reduction_one"
 REDUCTION_TWO = "reduction_two"
 
 
+@lru_cache(maxsize=4096)
 def proposer_role(round_number: int) -> bytes:
     """Role for proposing a block in ``round_number`` (section 6)."""
     return encode(["proposer", round_number])
 
 
+@lru_cache(maxsize=4096)
 def committee_role(round_number: int, step: int | str) -> bytes:
     """Role for the BA* committee at ``(round, step)`` (Algorithm 4)."""
     return encode(["committee", round_number, str(step)])

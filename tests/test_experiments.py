@@ -8,7 +8,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.common.params import PAPER_PARAMS, TEST_PARAMS
+from repro.common.params import PAPER_PARAMS
 from repro.experiments.costs import expected_certificate_bytes, measure_costs
 from repro.experiments.harness import Simulation, SimulationConfig
 from repro.experiments.latency import flatness, run_latency_point

@@ -180,3 +180,53 @@ class TestEnvelope:
     def test_size_validated(self):
         with pytest.raises(ValueError):
             Envelope(origin=b"o", kind="t", payload=None, size=0)
+
+
+class TestSeenPruning:
+    def test_seen_bounded_by_horizon(self):
+        env, net = _network(10)
+        for _ in range(4):
+            for k in range(3):
+                net.interfaces[0].broadcast(
+                    Envelope(origin=b"o", kind="t", payload=None, size=50))
+            env.run()
+            net.end_round()
+        # With a 2-round horizon only the last two rounds' ids survive.
+        for iface in net.interfaces:
+            assert len(iface._seen) <= 2 * 3
+
+    def test_disabled_horizon_keeps_everything(self):
+        env = Environment()
+        rng = np.random.default_rng(0)
+        net = GossipNetwork(env, 10, rng, UniformLatencyModel(0.01),
+                            seen_horizon_rounds=None)
+        total = 0
+        for _ in range(4):
+            net.interfaces[0].broadcast(
+                Envelope(origin=b"o", kind="t", payload=None, size=50))
+            total += 1
+            env.run()
+            net.end_round()
+        assert len(net.interfaces[0]._seen) == total
+
+    def test_invalid_horizon_rejected(self):
+        env = Environment()
+        rng = np.random.default_rng(0)
+        with pytest.raises(NetworkError):
+            GossipNetwork(env, 4, rng, UniformLatencyModel(0.01),
+                          seen_horizon_rounds=0)
+
+    def test_prune_keeps_recent_ids(self):
+        env, net = _network(10)
+        envelope = Envelope(origin=b"o", kind="t", payload=None, size=50)
+        net.interfaces[0].broadcast(envelope)
+        env.run()
+        net.end_round()
+        net.end_round()  # envelope now beyond the 2-round horizon
+        net.end_round()
+        for iface in net.interfaces:
+            assert envelope.msg_id not in iface._seen
+        # A pruned duplicate is re-accepted once instead of crashing.
+        net.interfaces[0].broadcast(envelope)
+        env.run()
+        assert envelope.msg_id in net.interfaces[1]._seen

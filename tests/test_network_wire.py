@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import pytest
 
-from repro.baplus.certificate import build_certificate
 from repro.baplus.messages import make_vote
 from repro.crypto.backend import FastBackend
 from repro.crypto.hashing import H

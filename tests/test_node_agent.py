@@ -104,8 +104,8 @@ class TestUnknownKinds:
     def test_extra_handler_invoked(self, sim):
         node = sim.nodes[0]
         seen = []
-        node.extra_handlers["custom"] = lambda payload: (
-            seen.append(payload) or True)
+        node.router.register("custom", lambda payload: (
+            seen.append(payload) or True))
         envelope = Envelope(origin=b"x", kind="custom", payload="hello",
                             size=10)
         assert node.handle_envelope(envelope)

@@ -109,9 +109,9 @@ class TestRecoverySessionValidation:
 
     def test_close_unregisters_handler(self, sim):
         session = RecoverySession(sim.nodes[0], pre_fork_round=1)
-        assert "fork" in sim.nodes[0].extra_handlers
+        assert sim.nodes[0].router.is_registered("fork")
         session.close()
-        assert "fork" not in sim.nodes[0].extra_handlers
+        assert not sim.nodes[0].router.is_registered("fork")
 
     def test_recovery_ctx_shared_across_nodes(self, sim):
         """All nodes on the same prefix derive identical recovery

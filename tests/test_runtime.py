@@ -1,0 +1,321 @@
+"""Tests for the message-path runtime: router, verification cache, wiring.
+
+Covers the refactor's safety claims:
+
+* routed dispatch preserves the validate-before-relay contract and
+  rejects wiring bugs (double registration, unknown kinds);
+* the shared :class:`VerificationCache` memoizes only context-independent
+  checks, keyed by full verification inputs, so adversarial reuse of a
+  signature (or msg_id) on different contents can never launder a
+  verdict;
+* cache on vs off produces bit-identical simulated results.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary import EquivocatingProposerNode
+from repro.common.errors import NetworkError, SignatureError, VRFError
+from repro.crypto.backend import CachedBackend, FastBackend
+from repro.crypto.counting import CountingBackend, CryptoOpCounts
+from repro.experiments.harness import Simulation, SimulationConfig
+from repro.network.message import Envelope
+from repro.runtime import MessageRouter, VerificationCache
+
+
+# ---------------------------------------------------------------------------
+# MessageRouter
+# ---------------------------------------------------------------------------
+
+
+def _envelope(kind: str, payload: object = "payload") -> Envelope:
+    return Envelope(origin=b"origin", kind=kind, payload=payload, size=10)
+
+
+class TestMessageRouter:
+    def test_dispatch_routes_payload_to_handler(self):
+        router = MessageRouter()
+        seen = []
+        router.register("vote", lambda payload: seen.append(payload) or True)
+        assert router.dispatch(_envelope("vote", "ballot")) is True
+        assert seen == ["ballot"]
+
+    def test_relay_decision_passes_through(self):
+        router = MessageRouter()
+        router.register("tx", lambda payload: False)
+        assert router.dispatch(_envelope("tx")) is False
+
+    def test_unknown_kind_dropped_and_counted(self):
+        router = MessageRouter()
+        assert router.dispatch(_envelope("mystery")) is False
+        assert router.dispatch(_envelope("mystery")) is False
+        assert router.unknown_kinds == 2
+
+    def test_double_registration_rejected(self):
+        router = MessageRouter()
+        router.register("vote", lambda payload: True)
+        with pytest.raises(NetworkError):
+            router.register("vote", lambda payload: True)
+
+    def test_replace_allows_reregistration(self):
+        router = MessageRouter()
+        router.register("fork", lambda payload: False)
+        router.register("fork", lambda payload: True, replace=True)
+        assert router.dispatch(_envelope("fork")) is True
+
+    def test_empty_kind_rejected(self):
+        router = MessageRouter()
+        with pytest.raises(NetworkError):
+            router.register("", lambda payload: True)
+
+    def test_unregister_and_introspection(self):
+        router = MessageRouter()
+        router.register("chain", lambda payload: True)
+        assert router.is_registered("chain")
+        assert router.kinds() == frozenset({"chain"})
+        router.unregister("chain")
+        router.unregister("chain")  # idempotent
+        assert not router.is_registered("chain")
+        assert router.dispatch(_envelope("chain")) is False
+
+
+# ---------------------------------------------------------------------------
+# VerificationCache
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture
+def counting():
+    return CountingBackend(FastBackend())
+
+
+@pytest.fixture
+def keypair(counting):
+    return counting.keypair(b"k" * 32)
+
+
+class TestVerificationCache:
+    def test_signature_hit_miss_accounting(self, counting, keypair):
+        cache = VerificationCache(counts=counting.counts)
+        signature = counting.sign(keypair.secret, b"msg")
+        for _ in range(3):
+            cache.verify(counting, keypair.public, b"msg", signature)
+        assert cache.misses == 1
+        assert cache.hits == 2
+        assert counting.counts.verifies == 1  # inner reached once
+        assert counting.counts.cache_hits == 2
+        assert counting.counts.cache_misses == 1
+        assert counting.counts.verifications_avoided == 2
+        assert cache.hit_rate == pytest.approx(2 / 3)
+
+    def test_vrf_hit_returns_cached_beta(self, counting, keypair):
+        cache = VerificationCache()
+        beta, proof = counting.vrf_prove(keypair.secret, b"alpha")
+        first = cache.vrf_verify(counting, keypair.public, proof, b"alpha")
+        second = cache.vrf_verify(counting, keypair.public, proof, b"alpha")
+        assert first == second == beta
+        assert counting.counts.vrf_verifies == 1
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_negative_results_cached_and_reraised(self, counting, keypair):
+        cache = VerificationCache()
+        with pytest.raises(SignatureError):
+            cache.verify(counting, keypair.public, b"msg", b"forged")
+        with pytest.raises(SignatureError):
+            cache.verify(counting, keypair.public, b"msg", b"forged")
+        assert counting.counts.verifies == 1  # failure memoized too
+        with pytest.raises(VRFError):
+            cache.vrf_verify(counting, keypair.public, b"bogus", b"alpha")
+        with pytest.raises(VRFError):
+            cache.vrf_verify(counting, keypair.public, b"bogus", b"alpha")
+        assert counting.counts.vrf_verifies == 1
+
+    def test_key_includes_message_bytes(self, counting, keypair):
+        """A valid signature for message A must not validate message B."""
+        cache = VerificationCache()
+        signature = counting.sign(keypair.secret, b"message-a")
+        cache.verify(counting, keypair.public, b"message-a", signature)
+        with pytest.raises(SignatureError):
+            cache.verify(counting, keypair.public, b"message-b", signature)
+        assert cache.hits == 0  # different inputs, different key
+
+    def test_eviction_bounds_entries(self, counting, keypair):
+        cache = VerificationCache(max_entries=8)
+        for i in range(40):
+            message = b"m%d" % i
+            signature = counting.sign(keypair.secret, message)
+            cache.verify(counting, keypair.public, message, signature)
+        assert len(cache) <= 8
+
+    def test_stats_shape(self):
+        cache = VerificationCache()
+        assert cache.stats() == {"hits": 0, "misses": 0, "hit_rate": 0.0,
+                                 "entries": 0}
+
+    def test_max_entries_validated(self):
+        with pytest.raises(ValueError):
+            VerificationCache(max_entries=0)
+
+
+class TestCachedBackend:
+    def test_wraps_and_delegates(self, counting, keypair):
+        cache = VerificationCache(counts=counting.counts)
+        backend = CachedBackend(counting, cache)
+        assert backend.name == f"cached({counting.name})"
+        signature = backend.sign(keypair.secret, b"msg")
+        backend.verify(keypair.public, b"msg", signature)
+        backend.verify(keypair.public, b"msg", signature)
+        assert counting.counts.verifies == 1
+        assert cache.hits == 1
+        beta, proof = backend.vrf_prove(keypair.secret, b"alpha")
+        assert backend.vrf_verify(keypair.public, proof, b"alpha") == beta
+        assert backend.vrf_verify(keypair.public, proof, b"alpha") == beta
+        assert counting.counts.vrf_verifies == 1
+
+
+# ---------------------------------------------------------------------------
+# Simulation wiring + determinism
+# ---------------------------------------------------------------------------
+
+
+def _run(cache_on: bool, *, seed: int = 7, rounds: int = 2,
+         num_users: int = 10, backend=None, malicious_class=None,
+         num_malicious: int = 0) -> Simulation:
+    sim = Simulation(
+        SimulationConfig(num_users=num_users, seed=seed,
+                         num_malicious=num_malicious,
+                         use_verification_cache=cache_on),
+        backend=backend, malicious_class=malicious_class,
+    )
+    sim.submit_payments(10)
+    sim.run_rounds(rounds)
+    return sim
+
+
+class TestSimulationWiring:
+    def test_cache_enabled_by_default_and_hit(self):
+        sim = _run(cache_on=True)
+        assert sim.verification_cache is not None
+        # Gossip fan-out means most verifications repeat across nodes.
+        assert sim.verification_cache.hits > sim.verification_cache.misses
+
+    def test_cache_disabled_leaves_backend_bare(self):
+        sim = _run(cache_on=False)
+        assert sim.verification_cache is None
+        assert not isinstance(sim.backend, CachedBackend)
+
+    def test_counting_backend_sees_only_misses(self):
+        counting = CountingBackend(FastBackend())
+        sim = _run(cache_on=True, backend=counting)
+        counts: CryptoOpCounts = counting.counts
+        cache = sim.verification_cache
+        assert counts.cache_hits == cache.hits
+        assert counts.cache_misses == cache.misses
+        # Every cached check either hit or reached the inner backend.
+        assert counts.total_verifications == cache.misses
+
+    def test_identical_results_cache_on_vs_off(self):
+        """The acceptance criterion: the cache is pure memoization —
+        same seed must produce the same blocks and the same timings."""
+        on = _run(cache_on=True, seed=11, rounds=2)
+        off = _run(cache_on=False, seed=11, rounds=2)
+        for round_number in (1, 2):
+            hashes_on = {node.chain.block_at(round_number).block_hash
+                         for node in on.nodes}
+            hashes_off = {node.chain.block_at(round_number).block_hash
+                          for node in off.nodes}
+            assert hashes_on == hashes_off
+            assert len(hashes_on) == 1
+            assert (on.round_latencies(round_number)
+                    == off.round_latencies(round_number))
+        assert on.env.now == off.env.now
+
+    def test_single_user_payments_no_crash(self):
+        """num_users == 1 used to crash rng.integers(0); now a no-op."""
+        sim = Simulation(SimulationConfig(num_users=1, num_observers=1,
+                                          seed=3))
+        sim.submit_payments(5)
+        assert all(len(node.mempool) == 0 for node in sim.nodes)
+
+
+class TestEquivocationNotLaundered:
+    def test_shared_signature_never_validates_other_contents(self):
+        """Unit-level laundering proof: an adversary re-attaching a
+        cached-valid signature to different bytes gets a rejection, even
+        though the (public, signature) pair is already in the cache."""
+        backend = FastBackend()
+        cache = VerificationCache()
+        cached = CachedBackend(backend, cache)
+        kp = backend.keypair(b"e" * 32)
+        signature = backend.sign(kp.secret, b"block-A")
+        cached.verify(kp.public, b"block-A", signature)  # now cached valid
+        with pytest.raises(SignatureError):
+            cached.verify(kp.public, b"block-B", signature)
+
+    def test_equivocating_proposer_with_cache(self):
+        """End-to-end: with the shared cache on, equivocators still never
+        win and safety holds — cached *crypto* verdicts do not bypass the
+        per-node equivocation tracking (context-dependent, uncached)."""
+        sim = _run(cache_on=True, seed=13, rounds=2, num_users=16,
+                   num_malicious=3, malicious_class=EquivocatingProposerNode)
+        malicious_keys = {node.keypair.public for node in sim.nodes[13:16]}
+        for round_number in (1, 2):
+            assert len(sim.agreed_hashes(round_number)) == 1
+        honest = sim.nodes[:13]
+        for node in honest:
+            for block in node.chain.blocks[1:]:
+                assert block.proposer not in malicious_keys
+        # The cache did real work during the adversarial run.
+        assert sim.verification_cache.hits > 0
+
+
+class TestChainSync:
+    def test_laggard_bootstraps_beyond_announcer_neighborhood(self):
+        """Up-to-date nodes relay a matching announcement, so the flood
+        reaches laggards that are not direct neighbors of the announcer."""
+        from repro.ledger.blockchain import Blockchain
+        from repro.node import ChainSync
+
+        sim = _run(cache_on=True, seed=5, rounds=2, num_users=12)
+        laggard = sim.nodes[3]
+        laggard.chain = Blockchain(
+            laggard.chain.initial_balances, laggard.chain.genesis_seed,
+            sim.config.params.seed_refresh_interval)
+        syncs = [ChainSync(node) for node in sim.nodes]
+        syncs[0].announce()
+        sim.env.run()
+        assert laggard.chain.height == 2
+        assert laggard.chain.tip_hash == sim.nodes[0].chain.tip_hash
+        assert syncs[3].adopted == 1
+
+    def test_invalid_announcement_rejected_not_relayed(self):
+        from repro.ledger.blockchain import Blockchain
+        from repro.node import ChainSync
+        from repro.node.catchup import ChainAnnouncement
+
+        sim = _run(cache_on=True, seed=5, rounds=2, num_users=12)
+        victim = sim.nodes[5]
+        victim.chain = Blockchain(
+            victim.chain.initial_balances, victim.chain.genesis_seed,
+            sim.config.params.seed_refresh_interval)
+        sync = ChainSync(victim)
+        source = sim.nodes[0].chain
+        forged = ChainAnnouncement(
+            blocks=source.blocks[1:],
+            certificates={},  # stripped certificates must fail replay
+        )
+        relay = victim.handle_envelope(Envelope(
+            origin=b"adv", kind="chain", payload=forged, size=forged.size))
+        assert relay is False
+        assert victim.chain.height == 0
+        assert sync.rejected == 1
+
+    def test_close_unregisters(self):
+        from repro.node import ChainSync
+
+        sim = _run(cache_on=True, seed=5, rounds=1, num_users=10)
+        sync = ChainSync(sim.nodes[0])
+        assert sim.nodes[0].router.is_registered("chain")
+        sync.close()
+        assert not sim.nodes[0].router.is_registered("chain")

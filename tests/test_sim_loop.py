@@ -251,3 +251,165 @@ class TestTimeoutValidation:
     def test_negative_rejected(self):
         with pytest.raises(SimulationError):
             Timeout(-0.5)
+
+
+class TestImmediateQueue:
+    def test_schedule_now_interleaves_with_zero_delay_timers(self):
+        """Immediates share the (time, seq) key space with heap timers:
+        mixing the two paths must preserve exact scheduling order."""
+        env = Environment()
+        log = []
+        env.schedule(0, lambda: log.append("h1"))
+        env.schedule_now(lambda: log.append("i1"))
+        env.schedule(0, lambda: log.append("h2"))
+        env.schedule_now(lambda: log.append("i2"))
+        env.run()
+        assert log == ["h1", "i1", "h2", "i2"]
+
+    def test_cancelled_immediate_does_not_fire(self):
+        env = Environment()
+        log = []
+        timer = env.schedule_now(lambda: log.append("x"))
+        timer.cancel()
+        env.schedule_now(lambda: log.append("y"))
+        env.run()
+        assert log == ["y"]
+
+    def test_immediate_scheduled_mid_run_fires_at_current_time(self):
+        env = Environment()
+        log = []
+
+        def at_two():
+            env.schedule_now(lambda: log.append(env.now))
+
+        env.schedule(2, at_two)
+        env.schedule(5, lambda: log.append(env.now))
+        env.run()
+        assert log == [2.0, 5.0]
+
+    def test_until_respected_for_immediates(self):
+        env = Environment()
+        log = []
+
+        def at_three():
+            env.schedule_now(lambda: log.append("late"))
+
+        env.schedule(3, at_three)
+        env.run(until=3)
+        # The immediate carries time 3.0 == until, so it still fires.
+        assert log == ["late"]
+        assert env.now == 3
+
+
+class TestBatchSchedule:
+    def test_delivers_in_time_order(self):
+        env = Environment()
+        log = []
+        env.schedule_batch([(2.0, "b"), (1.0, "a"), (2.0, "c")],
+                           lambda p: log.append((env.now, p)))
+        env.run()
+        assert log == [(1.0, "a"), (2.0, "b"), (2.0, "c")]
+
+    def test_same_time_payloads_share_one_event(self):
+        env = Environment()
+        log = []
+        env.schedule_batch([(1.0, i) for i in range(5)], log.append)
+        env.run()
+        assert log == [0, 1, 2, 3, 4]
+        assert env.events_processed == 1
+
+    def test_interleaves_with_plain_timers(self):
+        env = Environment()
+        log = []
+        env.schedule_batch([(1.0, "batch1"), (3.0, "batch3")],
+                           log.append)
+        env.schedule(2.0, lambda: log.append("timer2"))
+        env.run()
+        assert log == ["batch1", "timer2", "batch3"]
+
+    def test_cancel_drops_undelivered(self):
+        env = Environment()
+        log = []
+        batch = env.schedule_batch([(1.0, "a"), (5.0, "b")], log.append)
+        env.run(until=2)
+        batch.cancel()
+        env.run()
+        assert log == ["a"]
+
+    def test_empty_batch_rejected(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            env.schedule_batch([], lambda p: None)
+
+    def test_negative_delay_rejected(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            env.schedule_batch([(1.0, "a"), (-0.5, "b")], lambda p: None)
+
+
+class TestFailureSurfacing:
+    def test_stop_when_does_not_swallow_failures(self):
+        """Regression: a failure recorded by the very event that makes
+        ``stop_when`` true used to be silently swallowed."""
+        env = Environment()
+
+        def boom():
+            raise RuntimeError("boom")
+            yield  # pragma: no cover
+
+        env.process(boom(), "boom")
+        with pytest.raises(SimulationError):
+            env.run(stop_when=lambda: True)
+
+    def test_until_exit_does_not_swallow_failures(self):
+        env = Environment()
+
+        def boom():
+            raise RuntimeError("boom")
+            yield  # pragma: no cover
+
+        env.process(boom(), "boom")
+        env.schedule(10, lambda: None)
+        with pytest.raises(SimulationError):
+            env.run(until=5)
+
+    def test_failure_stops_processing_of_later_events(self):
+        env = Environment()
+        log = []
+
+        def boom():
+            raise RuntimeError("boom")
+            yield  # pragma: no cover
+
+        env.process(boom(), "boom")
+        env.schedule(1, lambda: log.append("after"))
+        with pytest.raises(SimulationError):
+            env.run()
+        assert log == []
+
+
+class TestDoneCallbacks:
+    def test_done_callback_fires_synchronously_on_finish(self):
+        env = Environment()
+        done = []
+
+        def worker():
+            yield env.timeout(2)
+            return "result"
+
+        process = env.process(worker())
+        process.add_done_callback(lambda p: done.append(env.now))
+        env.run()
+        assert done == [2.0]
+
+    def test_done_callback_on_already_finished_process(self):
+        env = Environment()
+
+        def worker():
+            yield env.timeout(1)
+
+        process = env.process(worker())
+        env.run()
+        done = []
+        process.add_done_callback(done.append)
+        assert done == [process]
