@@ -7,11 +7,30 @@ repo root. The committed baseline is the same run measured before the
 message-path runtime landed (routed dispatch, shared verification
 cache, immediate queue, batched arrivals); the acceptance bar for that
 refactor was a ≥2x wall-clock speedup.
+
+A second benchmark measures the observability layer on a scaled-down
+workload, recorded as ``obs_overhead``:
+
+* **guard cost** (the "<3% when disabled" budget): the run with the
+  dormant ``obs is not None`` guards present vs. surgically stripped
+  (reference copies of the two hottest guarded methods monkeypatched
+  in).
+* **tracing cost**: the same run with a live ``TraceBus`` vs. without,
+  plus a check that all three variants commit byte-identical chains.
+
+Methodology: each variant runs in a *fresh subprocess* and reports
+process CPU time, min of 2. Wall clock on a shared machine swings >15%
+between identical back-to-back runs, and sequential runs in one process
+contaminate each other through heap growth and GC — both effects dwarf
+the few-percent deltas measured here.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import subprocess
+import sys
 import time
 from pathlib import Path
 
@@ -25,12 +44,32 @@ from repro.experiments.metrics import format_table
 #: e611324 before the runtime refactor.
 BASELINE_WALL_SECONDS = 450.9
 
+
 NUM_USERS = 200
 ROUNDS = 5
 SEED = 1
 PAYMENTS = 200
 
+#: Scaled-down workload for the paired tracing-off/on comparison.
+OBS_USERS = 60
+OBS_ROUNDS = 3
+OBS_SEED = 11
+OBS_PAYMENTS = 60
+
 RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_runtime.json"
+SRC_PATH = Path(__file__).resolve().parent.parent / "src"
+
+
+def _warmup() -> None:
+    """Touch every hot code path once before timing anything.
+
+    The first simulation in a process pays import, bytecode-cache, and
+    allocator warmup that can swamp a few-percent effect; both timed
+    workloads below run after this.
+    """
+    sim = Simulation(SimulationConfig(num_users=20, seed=2))
+    sim.submit_payments(10)
+    sim.run_rounds(1)
 
 
 def _workload() -> tuple[Simulation, float]:
@@ -41,8 +80,95 @@ def _workload() -> tuple[Simulation, float]:
     return sim, time.perf_counter() - start
 
 
+#: Runs one variant of the obs workload in a fresh interpreter and
+#: prints a JSON result line. Isolation matters: sequential simulations
+#: in one process contaminate each other (heap growth, GC, allocator
+#: state) by far more than the few-percent effects measured here.
+#: ``stripped`` swaps in pre-instrumentation copies of the two hottest
+#: guarded methods (gossip delivery, router dispatch) so the cost of
+#: the dormant guards themselves is the only difference vs ``disabled``.
+_VARIANT_SCRIPT = """\
+import gc, json, sys, time
+
+mode = sys.argv[1]
+users, rounds, seed, payments = (int(x) for x in sys.argv[2:6])
+
+from repro.experiments.harness import Simulation, SimulationConfig
+
+if mode == "stripped":
+    from repro.network.gossip import NetworkInterface
+    from repro.runtime.router import MessageRouter
+
+    def deliver_plain(self, envelope, from_index):
+        if self.disconnected or envelope.msg_id in self._seen:
+            return
+        self._seen.add(envelope.msg_id)
+        self.inbox.append(envelope)
+        self.receive_signal.pulse()
+        if self.relay_policy(envelope):
+            self._send_to_neighbors(envelope, exclude=from_index)
+
+    def dispatch_plain(self, envelope):
+        handler = self._handlers.get(envelope.kind)
+        if handler is None:
+            self.unknown_kinds += 1
+            return False
+        return handler(envelope.payload)
+
+    NetworkInterface._deliver = deliver_plain
+    MessageRouter.dispatch = dispatch_plain
+
+bus = None
+if mode == "enabled":
+    from repro.obs import TraceBus
+    bus = TraceBus()
+
+warm = Simulation(SimulationConfig(num_users=20, seed=2))
+warm.submit_payments(10)
+warm.run_rounds(1)
+del warm
+gc.collect()
+
+start = time.process_time()
+sim = Simulation(SimulationConfig(num_users=users, seed=seed), obs=bus)
+sim.submit_payments(payments)
+sim.run_rounds(rounds)
+cpu = time.process_time() - start
+
+out = {
+    "cpu": cpu,
+    "chains_equal": sim.all_chains_equal(),
+    "chains": [sim.nodes[0].chain.block_at(r).block_hash.hex()
+               for r in range(1, rounds + 1)],
+}
+if bus is not None:
+    out["trace_events"] = len(bus.events)
+    out["metric_counters"] = len(bus.snapshot()["counters"])
+print(json.dumps(out))
+"""
+
+
+def _run_variant(mode: str) -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC_PATH)
+    proc = subprocess.run(
+        [sys.executable, "-c", _VARIANT_SCRIPT, mode,
+         str(OBS_USERS), str(OBS_ROUNDS), str(OBS_SEED),
+         str(OBS_PAYMENTS)],
+        capture_output=True, text=True, env=env)
+    if proc.returncode != 0:
+        raise AssertionError(
+            f"{mode} variant subprocess failed:\n{proc.stderr}")
+    return json.loads(proc.stdout)
+
+
 def test_runtime_throughput(benchmark):
-    sim, wall = benchmark.pedantic(_workload, rounds=1, iterations=1)
+    _warmup()
+    # Min of two runs: single measurements of this workload swing by
+    # more than the effects tracked here on a shared machine.
+    runs = benchmark.pedantic(lambda: [_workload(), _workload()],
+                              rounds=1, iterations=1)
+    sim, wall = min(runs, key=lambda run: run[1])
 
     assert sim.all_chains_equal()
     events = sim.env.events_processed
@@ -64,7 +190,7 @@ def test_runtime_throughput(benchmark):
         "baseline_wall_seconds": BASELINE_WALL_SECONDS,
         "speedup_vs_baseline": round(speedup, 2),
     }
-    RESULT_PATH.write_text(json.dumps(result, indent=2) + "\n")
+    _merge_result(result)
 
     rows = [
         ["wall clock", f"{wall:.1f} s",
@@ -82,3 +208,80 @@ def test_runtime_throughput(benchmark):
         f"runtime refactor regressed: {wall:.1f}s vs "
         f"{BASELINE_WALL_SECONDS:.1f}s baseline ({speedup:.2f}x)"
     )
+
+
+def _merge_result(update: dict) -> None:
+    """Fold a test's results into BENCH_runtime.json, keeping the keys
+    that other tests in this file own."""
+    existing: dict = {}
+    if RESULT_PATH.exists():
+        try:
+            existing = json.loads(RESULT_PATH.read_text())
+        except (ValueError, OSError):
+            existing = {}
+    existing.update(update)
+    RESULT_PATH.write_text(json.dumps(existing, indent=2) + "\n")
+
+
+def test_obs_overhead(benchmark):
+    modes = ("stripped", "disabled", "enabled")
+
+    def _measure():
+        runs = {mode: [] for mode in modes}
+        for _ in range(2):
+            for mode in modes:
+                runs[mode].append(_run_variant(mode))
+        return runs
+
+    runs = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    best = {mode: min(results, key=lambda r: r["cpu"])
+            for mode, results in runs.items()}
+
+    # guards and tracing must both be pure observers: every run of
+    # every variant commits the exact same chain
+    reference = best["disabled"]["chains"]
+    for mode in modes:
+        for run in runs[mode]:
+            assert run["chains_equal"], f"{mode}: nodes diverged"
+            assert run["chains"] == reference, f"{mode}: chain changed"
+
+    cpu_stripped = best["stripped"]["cpu"]
+    cpu_off = best["disabled"]["cpu"]
+    cpu_on = best["enabled"]["cpu"]
+    guard_cost = cpu_off / cpu_stripped - 1
+    tracing_cost = cpu_on / cpu_off - 1
+    trace_events = best["enabled"]["trace_events"]
+    metric_counters = best["enabled"]["metric_counters"]
+    _merge_result({
+        "obs_overhead": {
+            "workload": {
+                "num_users": OBS_USERS,
+                "rounds": OBS_ROUNDS,
+                "seed": OBS_SEED,
+                "payments": OBS_PAYMENTS,
+            },
+            "method": "process CPU time, fresh subprocess per run, "
+                      "min of 2",
+            "stripped_cpu_seconds": round(cpu_stripped, 2),
+            "disabled_cpu_seconds": round(cpu_off, 2),
+            "enabled_cpu_seconds": round(cpu_on, 2),
+            "guard_overhead_disabled": round(guard_cost, 4),
+            "tracing_overhead_enabled": round(tracing_cost, 4),
+            "trace_events": trace_events,
+            "metric_counters": metric_counters,
+            "chains_identical": True,
+        },
+    })
+
+    rows = [
+        ["guards stripped", f"{cpu_stripped:.2f} cpu-s",
+         "pre-obs reference methods"],
+        ["tracing off", f"{cpu_off:.2f} cpu-s",
+         f"dormant guards: {guard_cost:+.1%} (budget <3%)"],
+        ["tracing on", f"{cpu_on:.2f} cpu-s",
+         f"{tracing_cost:+.1%}; {trace_events} events, "
+         f"{metric_counters} counters"],
+        ["chains identical", "yes", "instrumentation is a pure observer"],
+    ]
+    print_table("Observability overhead: 60 users x 3 rounds",
+                format_table(["metric", "value", "note"], rows))

@@ -11,7 +11,8 @@ The package implements the paper's full stack:
 * :mod:`repro.adversary` — Byzantine strategies and network control;
 * :mod:`repro.baselines` — the Bitcoin/Nakamoto comparison baseline;
 * :mod:`repro.analysis` — committee sizing (Figure 3, Appendix B);
-* :mod:`repro.experiments` — runners for every figure/table in section 10.
+* :mod:`repro.experiments` — runners for every figure/table in section 10;
+* :mod:`repro.obs` — tracing/metrics bus, JSONL export, trace-report CLI.
 
 Quickstart::
 
@@ -25,12 +26,14 @@ Quickstart::
 
 from repro.common.params import PAPER_PARAMS, TEST_PARAMS, ProtocolParams
 from repro.experiments.harness import Simulation, SimulationConfig
+from repro.obs import TraceBus
 
 __version__ = "1.0.0"
 
 __all__ = [
     "Simulation",
     "SimulationConfig",
+    "TraceBus",
     "ProtocolParams",
     "PAPER_PARAMS",
     "TEST_PARAMS",

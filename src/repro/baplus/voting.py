@@ -46,6 +46,11 @@ class BAParticipant:
     #: a CountVotes invocation completes (feeds the section 10.5
     #: timeout-validation experiment).
     step_observer: Callable[[int, str, float, bool], None] | None = None
+    #: Optional :class:`repro.obs.TraceBus`: when set, CommitteeVote and
+    #: CountVotes emit ``vote_cast`` / ``step_enter`` / ``step_exit``
+    #: events tagged with ``node_id`` and update sortition counters.
+    obs: "object | None" = None
+    node_id: int | None = None
 
 
 def committee_vote(part: BAParticipant, ctx: BAContext, round_number: int,
@@ -66,6 +71,10 @@ def committee_vote(part: BAParticipant, ctx: BAContext, round_number: int,
             round_number, step, proof.vrf_hash, proof.vrf_proof,
             ctx.last_block_hash, value,
         )
+        if part.obs is not None:
+            part.obs.emit("vote_cast", node=part.node_id,
+                          round=round_number, step=step, j=proof.j,
+                          weight=ctx.weight_of(part.keypair.public))
         part.gossip_vote(vote)
     return proof
 
@@ -109,11 +118,21 @@ def count_votes(part: BAParticipant, ctx: BAContext, round_number: int,
     voters: set[bytes] = set()
     bucket = part.buffer.messages(round_number, step)
     cursor = 0
+    obs = part.obs
+    if obs is not None:
+        obs.emit("step_enter", node=part.node_id, round=round_number,
+                 step=step, deadline_s=lam)
 
     def _done(result):
+        timed_out = result is TIMEOUT
+        if obs is not None:
+            obs.emit("step_exit", node=part.node_id, round=round_number,
+                     step=step, seconds=env.now - start,
+                     timed_out=timed_out,
+                     votes_counted=sum(counts.values()))
         if part.step_observer is not None:
             part.step_observer(round_number, step, env.now - start,
-                               result is TIMEOUT)
+                               timed_out)
         return result
 
     while True:

@@ -52,6 +52,16 @@ class NetworkError(ReproError):
     """The simulated network was misconfigured (unknown peer, bad topology)."""
 
 
+class NoSamplesError(ReproError, ValueError):
+    """A statistical summary was requested over an empty sample set.
+
+    Subclasses :class:`ValueError` so callers that predate the typed
+    hierarchy (``except ValueError``) keep working. Experiment runners
+    catch this to report an empty measurement point instead of crashing
+    a whole figure sweep.
+    """
+
+
 class ConsensusHalted(ReproError):
     """BinaryBA* exceeded MaxSteps; liveness must be restored by recovery.
 

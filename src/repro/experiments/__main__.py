@@ -6,7 +6,7 @@ Usage::
     python -m repro.experiments fig5 tab_costs   # a subset
 
 Artifacts: fig3, fig5, fig6, fig7, fig8, tab_throughput, tab_costs,
-tab_timeouts, tab_params. Output is printed as ASCII tables; the same
+tab_timeouts, tab_params, obs. Output is printed as ASCII tables; the same
 code paths run under ``pytest benchmarks/ --benchmark-only``.
 """
 
@@ -180,6 +180,29 @@ def run_tab_waiting() -> None:
           f"{p.median_latency:.2f} s"] for p in points]))
 
 
+def run_obs() -> None:
+    _banner("Observability: traced 2-round deployment + report")
+    from repro.experiments.harness import Simulation, SimulationConfig
+    from repro.obs import TraceBus
+    from repro.obs.report import render_report
+
+    bus = TraceBus()
+    sim = Simulation(SimulationConfig(num_users=12, seed=42), obs=bus)
+    sim.submit_payments(24)
+    sim.run_rounds(2)
+    print(render_report(bus.events, bus.snapshot()))
+    summary = sim.summary()
+    cache = summary["verification_cache"]
+    print(f"\nharness summary: {summary['events_processed']:,} events "
+          f"({summary['immediates_processed']:,} immediate), "
+          f"{summary['messages_delivered']:,} messages delivered")
+    print(f"verification cache: {cache['hits']:,} hits / "
+          f"{cache['misses']:,} misses "
+          f"(hit rate {cache['hit_rate']:.3f}, "
+          f"{cache['negative_hits']} negative); "
+          f"router unknown-kind drops: {summary['router_unknown_kinds']}")
+
+
 def run_tab_scalability() -> None:
     _banner("Section 8.4 topology + section 7 step counts")
     from repro.analysis.graph import diameter_scaling
@@ -209,6 +232,7 @@ ARTIFACTS = {
     "tab_related": run_tab_related,
     "tab_waiting": run_tab_waiting,
     "tab_scalability": run_tab_scalability,
+    "obs": run_obs,
 }
 
 

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.adversary.strategies import MaliciousNode
+from repro.common.errors import NoSamplesError
 from repro.common.params import ProtocolParams, TEST_PARAMS
 from repro.experiments.harness import Simulation, SimulationConfig
 from repro.experiments.metrics import LatencySummary
@@ -62,10 +63,14 @@ def run_adversarial_point(fraction: float, *, num_users: int = 20,
                 samples.append(record.duration)
         if honest[0].chain.block_at(round_number).is_empty:
             empty_rounds += 1
+    try:
+        summary = LatencySummary.from_samples(samples)
+    except NoSamplesError:
+        summary = LatencySummary.empty()
     return AdversarialPoint(
         malicious_fraction=fraction,
         num_malicious=num_malicious,
-        summary=LatencySummary.from_samples(samples),
+        summary=summary,
         agreed=agreed,
         empty_rounds=empty_rounds,
     )

@@ -22,8 +22,10 @@ from repro.network.gossip import GossipNetwork
 from repro.network.latency import LatencyModel, UniformLatencyModel
 from repro.node.agent import Node
 from repro.node.registry import BlockRegistry
+from repro.obs.bus import TraceBus
 from repro.runtime.cache import VerificationCache
 from repro.sim.loop import Environment
+from repro.sortition.selection import SELECTION_STATS
 
 
 @dataclass
@@ -80,9 +82,26 @@ class Simulation:
     def __init__(self, config: SimulationConfig,
                  backend: CryptoBackend | None = None,
                  node_class: type[Node] = Node,
-                 malicious_class: type[Node] | None = None) -> None:
+                 malicious_class: type[Node] | None = None,
+                 obs: TraceBus | None = None) -> None:
         self.config = config
         self.env = Environment()
+        #: Optional trace bus (see :mod:`repro.obs`). When supplied, its
+        #: clock is bound to this simulation's virtual time, every layer
+        #: (network, nodes, BA*, router) records into it, and
+        #: :meth:`summary` embeds its registry snapshot. ``None`` (the
+        #: default) leaves all instrumentation as dormant no-op guards.
+        self.obs = obs
+        if obs is not None:
+            obs.bind_clock(lambda: self.env.now)
+            obs.add_harvester(self._harvest_obs)
+        self._selection_baseline = SELECTION_STATS.as_dict()
+        # Captured at the end of each run_rounds: the process-global
+        # sortition tallies keep growing across simulations, so the
+        # per-run delta must be frozen while this sim is the only one
+        # that has touched them (snapshot determinism depends on it).
+        self._selection_delta = SELECTION_STATS.delta_since(
+            self._selection_baseline)
         inner_backend = backend if backend is not None else FastBackend()
         if config.use_verification_cache:
             # Wrap outermost: a cache hit never reaches an inner
@@ -111,6 +130,7 @@ class Simulation:
             peers_per_node=config.peers_per_node,
             bandwidth_bps=config.bandwidth_bps,
             seen_horizon_rounds=config.seen_horizon_rounds,
+            obs=obs,
         )
 
         # Observers get keys but zero stake (appended after the users).
@@ -138,7 +158,7 @@ class Simulation:
                 index=i, env=self.env, keypair=self.keypairs[i],
                 backend=self.backend, params=config.params, chain=chain,
                 interface=self.network.interfaces[i],
-                registry=self.registry,
+                registry=self.registry, obs=obs,
             )
             self.nodes.append(node)
         def on_commit(round_number: int) -> None:
@@ -213,6 +233,8 @@ class Simulation:
             limit = per_round * (rounds + 1)
         self.env.run(until=limit, max_events=max_events,
                      stop_when=lambda: pending == 0)
+        self._selection_delta = SELECTION_STATS.delta_since(
+            self._selection_baseline)
         unfinished = [node.index for node, process in zip(self.nodes,
                                                           processes)
                       if not process.done]
@@ -251,3 +273,65 @@ class Simulation:
             and node.chain.tip_hash == reference.tip_hash
             for node in self.nodes
         )
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+
+    def _harvest_obs(self, bus: TraceBus) -> None:
+        """Pull the lazy runtime counters into the obs registry.
+
+        Hot components (event loop, verification cache, routers) keep
+        plain instance counters; this harvester copies them into the
+        bus's registry so snapshots/JSONL traces carry them without the
+        hot paths ever touching the registry.
+        """
+        metrics = bus.metrics
+        env = self.env
+        metrics.set_gauge("simloop.events_processed", env.events_processed)
+        metrics.set_gauge("simloop.immediates_processed",
+                          env.immediates_processed)
+        metrics.set_gauge("simloop.batch_walks", env.batch_walks)
+        metrics.set_gauge("simloop.batch_deliveries", env.batch_deliveries)
+        metrics.set_gauge("simloop.now", env.now)
+        metrics.set_gauge("network.messages_delivered",
+                          self.network.messages_delivered)
+        metrics.set_gauge("network.total_bytes_sent",
+                          self.network.total_bytes_sent)
+        if self.verification_cache is not None:
+            cache = self.verification_cache
+            metrics.set_counter("cache.hits", cache.hits)
+            metrics.set_counter("cache.misses", cache.misses)
+            metrics.set_counter("cache.negative_hits", cache.negative_hits)
+            metrics.set_gauge("cache.entries", len(cache))
+        metrics.set_counter("router.unknown_kind", sum(
+            node.router.unknown_kinds for node in self.nodes))
+        for name, value in self._selection_delta.items():
+            metrics.set_counter("sortition." + name, value)
+
+    def summary(self) -> dict:
+        """One dict with every runtime counter an experiment may report.
+
+        This is where the shared :class:`VerificationCache` hit/miss
+        numbers and the routers' unknown-kind drop counts surface —
+        previously they were collected but never included in any result.
+        When a :class:`TraceBus` is attached, the full registry snapshot
+        rides along under ``"obs"``.
+        """
+        result: dict = {
+            "events_processed": self.env.events_processed,
+            "immediates_processed": self.env.immediates_processed,
+            "batch_walks": self.env.batch_walks,
+            "batch_deliveries": self.env.batch_deliveries,
+            "simulated_seconds": self.env.now,
+            "messages_delivered": self.network.messages_delivered,
+            "total_bytes_sent": self.network.total_bytes_sent,
+            "router_unknown_kinds": sum(node.router.unknown_kinds
+                                        for node in self.nodes),
+            "sortition": dict(self._selection_delta),
+        }
+        if self.verification_cache is not None:
+            result["verification_cache"] = self.verification_cache.stats()
+        if self.obs is not None:
+            result["obs"] = self.obs.snapshot()
+        return result

@@ -21,6 +21,7 @@ from __future__ import annotations
 import dataclasses
 from dataclasses import dataclass
 
+from repro.common.errors import NoSamplesError
 from repro.common.params import ProtocolParams, TEST_PARAMS
 from repro.experiments.harness import Simulation, SimulationConfig
 from repro.experiments.metrics import LatencySummary
@@ -72,9 +73,13 @@ def run_latency_point(num_users: int, *, seed: int = 0,
         1 for node in sim.nodes
         if node.metrics.round_record(measure_round) is not None
         and node.metrics.round_record(measure_round).kind == "final")
+    try:
+        summary = LatencySummary.from_samples(samples)
+    except NoSamplesError:
+        summary = LatencySummary.empty()
     return LatencyPoint(
         num_users=num_users,
-        summary=LatencySummary.from_samples(samples),
+        summary=summary,
         empty_rounds=empties,
         final_rounds=finals,
         rounds_measured=rounds,

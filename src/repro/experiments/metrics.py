@@ -2,9 +2,12 @@
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import numpy as np
+
+from repro.common.errors import NoSamplesError
 
 
 @dataclass(frozen=True)
@@ -23,7 +26,7 @@ class LatencySummary:
     @classmethod
     def from_samples(cls, samples: list[float]) -> "LatencySummary":
         if not samples:
-            raise ValueError("no samples")
+            raise NoSamplesError("cannot summarize an empty sample set")
         data = np.asarray(samples, dtype=float)
         return cls(
             minimum=float(data.min()),
@@ -34,6 +37,15 @@ class LatencySummary:
             mean=float(data.mean()),
             count=len(samples),
         )
+
+    @classmethod
+    def empty(cls) -> "LatencySummary":
+        """Placeholder for a measurement point that produced no samples
+        (e.g. every round went empty under a heavy adversary). NaN values
+        render as ``nan`` in tables instead of aborting the sweep."""
+        nan = math.nan
+        return cls(minimum=nan, p25=nan, median=nan, p75=nan,
+                   maximum=nan, mean=nan, count=0)
 
     def row(self) -> dict[str, float]:
         return {

@@ -22,13 +22,16 @@ are built from this single mechanism (see :mod:`repro.adversary`).
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Protocol
+from typing import TYPE_CHECKING, Callable, Protocol
 
 import numpy as np
 
 from repro.common.errors import NetworkError
 from repro.network.message import Envelope, next_msg_id
 from repro.sim.loop import Environment, Signal
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.bus import TraceBus
 
 
 class SupportsLatency(Protocol):
@@ -49,6 +52,11 @@ class NetworkInterface:
 
     def __init__(self, network: "GossipNetwork", index: int) -> None:
         self._network = network
+        # Tracing is fixed at network construction; cache the registry
+        # handle so per-delivery guards are one attribute load, not a
+        # network.obs.metrics chain.
+        self._metrics = (network.obs.metrics
+                         if network.obs is not None else None)
         self.index = index
         self.neighbors: list[int] = []
         self._seen: set[int] = set()
@@ -116,6 +124,7 @@ class NetworkInterface:
         bandwidth = network.bandwidth_bps
         urgent = self._egress_urgent
         bulk = self._egress_bulk
+        metrics = self._metrics
         while True:
             while urgent or bulk:
                 if urgent:
@@ -134,6 +143,12 @@ class NetworkInterface:
                         self.bytes_sent += envelope.size
                         self.messages_sent += 1
                         items.append((offset, dst, envelope))
+                        if metrics is not None:
+                            metrics.inc("gossip.sent." + envelope.kind)
+                            metrics.inc("gossip.sent_bytes." + envelope.kind,
+                                        envelope.size)
+                    if metrics is not None:
+                        metrics.observe("gossip.egress_batch", len(batch))
                     network._transmit_batch(self.index, items)
                     if offset > 0.0:
                         # Uplink busy until the batch finishes; newly
@@ -147,18 +162,31 @@ class NetworkInterface:
                         yield env.timeout(envelope.size * 8.0 / bandwidth)
                     self.bytes_sent += envelope.size
                     self.messages_sent += 1
+                    if metrics is not None:
+                        metrics.inc("gossip.sent." + envelope.kind)
+                        metrics.inc("gossip.sent_bytes." + envelope.kind,
+                                    envelope.size)
                     network._transmit(self.index, dst, envelope)
             yield self._egress_signal.next_event()
 
     # --- Receiving --------------------------------------------------------
 
     def _deliver(self, envelope: Envelope, from_index: int) -> None:
+        metrics = self._metrics
         if self.disconnected or envelope.msg_id in self._seen:
+            if metrics is not None and not self.disconnected:
+                metrics.inc("gossip.dup_dropped")
             return
         self._seen.add(envelope.msg_id)
         self.inbox.append(envelope)
         self.receive_signal.pulse()
+        if metrics is not None:
+            metrics.inc("gossip.recv." + envelope.kind)
+            metrics.inc("gossip.recv_bytes." + envelope.kind,
+                        envelope.size)
         if self.relay_policy(envelope):
+            if metrics is not None:
+                metrics.inc("gossip.relayed." + envelope.kind)
             self._send_to_neighbors(envelope, exclude=from_index)
 
     # --- Duplicate-suppression hygiene ------------------------------------
@@ -177,8 +205,13 @@ class NetworkInterface:
         self._seen_watermarks.append(watermark)
         while len(self._seen_watermarks) > horizon_rounds:
             cutoff = self._seen_watermarks.popleft()
+            before = len(self._seen)
             self._seen = {msg_id for msg_id in self._seen
                           if msg_id >= cutoff}
+            if self._metrics is not None:
+                self._metrics.inc("gossip.pruned_ids",
+                                  before - len(self._seen))
+                self._metrics.inc("gossip.prune_passes")
 
 
 class GossipNetwork:
@@ -188,7 +221,8 @@ class GossipNetwork:
                  rng: np.random.Generator, latency_model: SupportsLatency,
                  peers_per_node: int = 4,
                  bandwidth_bps: float | None = 20e6,
-                 seen_horizon_rounds: int | None = 2) -> None:
+                 seen_horizon_rounds: int | None = 2,
+                 obs: "TraceBus | None" = None) -> None:
         if num_nodes < 2:
             raise NetworkError("gossip network needs at least 2 nodes")
         if peers_per_node < 1:
@@ -196,6 +230,11 @@ class GossipNetwork:
         if seen_horizon_rounds is not None and seen_horizon_rounds < 1:
             raise NetworkError("seen_horizon_rounds must be >= 1 or None")
         self.env = env
+        #: Optional :class:`repro.obs.TraceBus`; when ``None`` (the
+        #: default) every instrumentation site below reduces to one
+        #: attribute load and an ``is not None`` check. Fixed at
+        #: construction — egress loops capture it once.
+        self.obs = obs
         self.rng = rng
         self.latency_model = latency_model
         self.peers_per_node = peers_per_node
@@ -231,6 +270,8 @@ class GossipNetwork:
     def _transmit(self, src: int, dst: int, envelope: Envelope) -> None:
         if self.drop_filter is not None and self.drop_filter(src, dst,
                                                              envelope):
+            if self.obs is not None:
+                self.obs.metrics.inc("gossip.filtered")
             return
         delay = self.latency_model.latency(src, dst)
         self.env.schedule(
@@ -254,6 +295,8 @@ class GossipNetwork:
         arrivals = []
         for offset, dst, envelope in items:
             if drop_filter is not None and drop_filter(src, dst, envelope):
+                if self.obs is not None:
+                    self.obs.metrics.inc("gossip.filtered")
                 continue
             arrivals.append((offset + latency(src, dst), (dst, envelope)))
         if not arrivals:

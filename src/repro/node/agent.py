@@ -69,7 +69,7 @@ class Node:
     def __init__(self, *, index: int, env: Environment, keypair: KeyPair,
                  backend: CryptoBackend, params: ProtocolParams,
                  chain: Blockchain, interface: NetworkInterface,
-                 registry: BlockRegistry) -> None:
+                 registry: BlockRegistry, obs=None) -> None:
         self.index = index
         self.env = env
         self.keypair = keypair
@@ -82,10 +82,14 @@ class Node:
         self.mempool = Mempool()
         self.metrics = NodeMetrics()
         self.halted = False
+        #: Optional :class:`repro.obs.TraceBus`; ``None`` keeps every
+        #: instrumentation site at a single attribute check.
+        self.obs = obs
         self.participant = BAParticipant(
             env=env, params=params, backend=backend, buffer=self.buffer,
             keypair=keypair, gossip_vote=self._gossip_vote,
             step_observer=self._observe_step,
+            obs=obs, node_id=index,
         )
         self._trackers: dict[int, ProposalTracker] = {}
         self._seen_votes: set[tuple[bytes, int, str]] = set()
@@ -95,6 +99,8 @@ class Node:
         #: protocol extensions (fork recovery, chain sync) register their
         #: own kinds instead of monkey-patching the dispatch chain.
         self.router = MessageRouter()
+        if obs is not None:
+            self.router.metrics = obs.metrics
         self.router.register("vote", self._handle_vote)
         self.router.register("priority", self._handle_priority)
         self.router.register("block", self._handle_block)
@@ -245,11 +251,17 @@ class Node:
                 yield from self.run_one_round()
             except ConsensusHalted:
                 self.halted = True
+                if self.obs is not None:
+                    self.obs.emit("consensus_halted", node=self.index,
+                                  round=self.chain.next_round)
 
     def run_one_round(self):
         """Execute one full round; generator driven by the event loop."""
         round_number = self.chain.next_round
         start = self.env.now
+        obs = self.obs
+        if obs is not None:
+            obs.emit("round_start", node=self.index, round=round_number)
         ctx = self._current_context(round_number)
         tracker = self._tracker(round_number)
 
@@ -259,11 +271,21 @@ class Node:
             ctx.weight_of(self.keypair.public), ctx.total_weight,
         )
         if proof.j > 0:
+            if obs is not None:
+                obs.emit("block_proposed", node=self.index,
+                         round=round_number, j=proof.j,
+                         weight=ctx.weight_of(self.keypair.public))
             self.propose_block(round_number, ctx, proof, tracker)
 
         hblock = yield from self._wait_for_proposal(round_number, ctx,
                                                     tracker)
         proposal_done = self.env.now
+        if obs is not None:
+            obs.emit("proposal_resolved", node=self.index,
+                     round=round_number,
+                     empty=hblock == empty_block_hash(
+                         round_number, ctx.last_block_hash),
+                     waited_s=proposal_done - start)
 
         reduced = yield from reduction(self.participant, ctx, round_number,
                                        hblock)
@@ -316,6 +338,18 @@ class Node:
             payload_bytes=block.payload_size,
             binary_steps=binary.deciding_step,
         ))
+        if obs is not None:
+            # The report CLI's per-round segment table (Figure 7 shape)
+            # is built from exactly these fields.
+            obs.emit("round_commit", node=self.index, round=round_number,
+                     consensus=kind, empty=block.is_empty,
+                     block_hash=block.block_hash.hex(),
+                     payload_bytes=block.payload_size,
+                     binary_steps=binary.deciding_step,
+                     proposal_s=proposal_done - start,
+                     ba_s=ba_done - proposal_done,
+                     final_s=end - ba_done,
+                     total_s=end - start)
         self._prune(round_number)
 
     def _pipelined_final(self, ctx: BAContext, round_number: int,
@@ -328,6 +362,9 @@ class Node:
         )
         if final_vote is not TIMEOUT and final_vote == agreed_value:
             self.metrics.finalize_kind(round_number, FINAL)
+            if self.obs is not None:
+                self.obs.emit("final_certified", node=self.index,
+                              round=round_number, pipelined=True)
             final_certificate = build_certificate(
                 self.buffer, ctx, self.backend, self.params, round_number,
                 FINAL_STEP, agreed_value,

@@ -46,7 +46,8 @@ class VerificationCache:
     invalid messages from growing memory without bound.
     """
 
-    __slots__ = ("_entries", "max_entries", "hits", "misses", "counts")
+    __slots__ = ("_entries", "max_entries", "hits", "misses",
+                 "negative_hits", "counts")
 
     def __init__(self, max_entries: int = 1 << 18,
                  counts: Any = None) -> None:
@@ -56,6 +57,10 @@ class VerificationCache:
         self.max_entries = max_entries
         self.hits = 0
         self.misses = 0
+        #: Hits that replayed a memoized *failure* (forged signature /
+        #: bad VRF proof seen before) — the adversarial-flood share of
+        #: the cache's work, reported separately in trace snapshots.
+        self.negative_hits = 0
         #: Optional :class:`repro.crypto.counting.CryptoOpCounts` (or any
         #: object with ``cache_hits``/``cache_misses``) to mirror into.
         self.counts = counts
@@ -92,6 +97,7 @@ class VerificationCache:
         return {
             "hits": self.hits,
             "misses": self.misses,
+            "negative_hits": self.negative_hits,
             "hit_rate": self.hit_rate,
             "entries": len(self._entries),
         }
@@ -106,6 +112,7 @@ class VerificationCache:
         if entry is not None:
             self._record_hit()
             if entry[0] is not None:
+                self.negative_hits += 1
                 raise entry[0]
             return
         self._record_miss()
@@ -124,6 +131,7 @@ class VerificationCache:
         if entry is not None:
             self._record_hit()
             if entry[0] is not None:
+                self.negative_hits += 1
                 raise entry[0]
             return entry[1]
         self._record_miss()

@@ -27,12 +27,16 @@ Handler = Callable[[Any], bool]
 class MessageRouter:
     """Kind -> handler dispatch table for gossip envelopes."""
 
-    __slots__ = ("_handlers", "unknown_kinds")
+    __slots__ = ("_handlers", "unknown_kinds", "metrics")
 
     def __init__(self) -> None:
         self._handlers: dict[str, Handler] = {}
         #: Count of envelopes dropped for lack of a registered handler.
         self.unknown_kinds = 0
+        #: Optional :class:`repro.obs.MetricsRegistry`: when set, every
+        #: dispatch/relay/unknown-kind is counted per message kind. The
+        #: default ``None`` keeps the hot path at one extra comparison.
+        self.metrics = None
 
     def register(self, kind: str, handler: Handler, *,
                  replace: bool = False) -> None:
@@ -62,8 +66,16 @@ class MessageRouter:
 
     def dispatch(self, envelope: Envelope) -> bool:
         """Route one envelope; returns the handler's relay decision."""
+        metrics = self.metrics
         handler = self._handlers.get(envelope.kind)
         if handler is None:
             self.unknown_kinds += 1
+            if metrics is not None:
+                metrics.inc("router.unknown_kind")
             return False
-        return handler(envelope.payload)
+        if metrics is not None:
+            metrics.inc("router.dispatch." + envelope.kind)
+        relay = handler(envelope.payload)
+        if relay and metrics is not None:
+            metrics.inc("router.relayed." + envelope.kind)
+        return relay

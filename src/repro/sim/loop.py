@@ -284,6 +284,9 @@ class BatchSchedule:
             payload = items[cursor][1]
             cursor += 1
             deliver(payload)
+        env = self._env
+        env.batch_walks += 1
+        env.batch_deliveries += cursor - self._cursor
         self._cursor = cursor
         if cursor < n and not self.cancelled:
             self.time = items[cursor][0]
@@ -313,6 +316,13 @@ class Environment:
         self._failures: list[tuple[Process, BaseException]] = []
         #: Total events fired across all :meth:`run` calls (perf metric).
         self.events_processed = 0
+        #: Fast-path tallies (observability): how many events took the
+        #: delay-0 immediate queue, and how much work BatchSchedule
+        #: entries absorbed. Plain ints so the hot loop stays cheap; the
+        #: obs layer harvests them into its registry at snapshot time.
+        self.immediates_processed = 0
+        self.batch_walks = 0
+        self.batch_deliveries = 0
 
     def schedule(self, delay: float, callback: Callable[[], None]) -> Timer:
         if delay < 0:
@@ -426,6 +436,7 @@ class Environment:
                     self._raise_if_failed()
                     return
                 immediate.popleft()
+                self.immediates_processed += 1
             else:
                 timer = heap[0][2]
                 if until is not None and timer.time > until:

@@ -16,6 +16,8 @@ from repro.sortition.seed import (
     verify_seed,
 )
 from repro.sortition.selection import (
+    SELECTION_STATS,
+    SelectionStats,
     SortitionProof,
     selection_probability,
     sortition,
@@ -24,6 +26,8 @@ from repro.sortition.selection import (
 )
 
 __all__ = [
+    "SELECTION_STATS",
+    "SelectionStats",
     "SortitionProof",
     "sortition",
     "verify_sort",

@@ -93,6 +93,46 @@ def _inverse_cdf_exact(fraction: float, w: int, p: float) -> int:
     return j
 
 
+class SelectionStats:
+    """Process-wide sortition tallies (observability).
+
+    Plain int increments — negligible next to the VRF work each call
+    already does — so they stay always-on. The harness snapshots the
+    tuple at simulation start and reports per-run *deltas*, which keeps
+    the numbers correct when multiple simulations run in one process.
+    """
+
+    __slots__ = ("proves", "prove_selected", "subusers_selected",
+                 "verifies", "verify_selected")
+
+    def __init__(self) -> None:
+        self.proves = 0
+        self.prove_selected = 0
+        self.subusers_selected = 0
+        self.verifies = 0
+        self.verify_selected = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "proves": self.proves,
+            "prove_selected": self.prove_selected,
+            "subusers_selected": self.subusers_selected,
+            "verifies": self.verifies,
+            "verify_selected": self.verify_selected,
+        }
+
+    def delta_since(self, baseline: dict[str, int]) -> dict[str, int]:
+        """Per-run view: counts accumulated since ``baseline``."""
+        current = self.as_dict()
+        return {name: current[name] - baseline.get(name, 0)
+                for name in current}
+
+
+#: The process-wide tally every :func:`sortition`/:func:`verify_sort`
+#: call updates.
+SELECTION_STATS = SelectionStats()
+
+
 @dataclass(frozen=True)
 class SortitionProof:
     """Result of running sortition: carried in every committee message."""
@@ -112,6 +152,11 @@ def sortition(backend: CryptoBackend, secret: bytes, seed: bytes,
     """Algorithm 1: privately check selection for ``role`` under ``seed``."""
     vrf_hash, vrf_proof = backend.vrf_prove(secret, seed + role)
     j = sub_users_selected(vrf_hash, weight, tau, total_weight)
+    stats = SELECTION_STATS
+    stats.proves += 1
+    if j > 0:
+        stats.prove_selected += 1
+        stats.subusers_selected += j
     return SortitionProof(vrf_hash=vrf_hash, vrf_proof=vrf_proof, j=j)
 
 
@@ -123,13 +168,18 @@ def verify_sort(backend: CryptoBackend, public: bytes, vrf_hash: bytes,
     Returns the number of selected sub-users, or ``0`` if the proof is
     invalid or the user was not selected.
     """
+    stats = SELECTION_STATS
+    stats.verifies += 1
     try:
         expected_hash = backend.vrf_verify(public, vrf_proof, seed + role)
     except Exception:
         return 0
     if expected_hash != vrf_hash:
         return 0
-    return sub_users_selected(vrf_hash, weight, tau, total_weight)
+    j = sub_users_selected(vrf_hash, weight, tau, total_weight)
+    if j > 0:
+        stats.verify_selected += 1
+    return j
 
 
 def expected_committee_votes(tau: float) -> float:

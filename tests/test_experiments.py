@@ -6,8 +6,11 @@ and result shapes; the benchmarks exercise the real sweeps.
 
 from __future__ import annotations
 
+import math
+
 import pytest
 
+from repro.common.errors import NoSamplesError
 from repro.common.params import PAPER_PARAMS
 from repro.experiments.costs import expected_certificate_bytes, measure_costs
 from repro.experiments.harness import Simulation, SimulationConfig
@@ -31,8 +34,20 @@ class TestLatencySummary:
         assert summary.count == 5
 
     def test_empty_rejected(self):
+        with pytest.raises(NoSamplesError):
+            LatencySummary.from_samples([])
+
+    def test_empty_is_still_a_value_error(self):
+        # pre-existing callers catch ValueError; the typed error must
+        # remain compatible with that contract
         with pytest.raises(ValueError):
             LatencySummary.from_samples([])
+
+    def test_empty_placeholder(self):
+        summary = LatencySummary.empty()
+        assert summary.count == 0
+        assert math.isnan(summary.median)
+        assert set(summary.row()) == {"min", "p25", "median", "p75", "max"}
 
     def test_row_rounding(self):
         row = LatencySummary.from_samples([1.23456]).row()

@@ -150,8 +150,8 @@ class TestVerificationCache:
 
     def test_stats_shape(self):
         cache = VerificationCache()
-        assert cache.stats() == {"hits": 0, "misses": 0, "hit_rate": 0.0,
-                                 "entries": 0}
+        assert cache.stats() == {"hits": 0, "misses": 0, "negative_hits": 0,
+                                 "hit_rate": 0.0, "entries": 0}
 
     def test_max_entries_validated(self):
         with pytest.raises(ValueError):
