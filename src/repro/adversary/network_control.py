@@ -14,11 +14,20 @@ from repro.network.message import Envelope
 
 
 class FilterChain:
-    """Composes several drop predicates into one ``drop_filter``."""
+    """Composes several drop predicates into one ``drop_filter``.
+
+    A previously installed ``drop_filter`` is absorbed as the chain's
+    first predicate instead of being silently clobbered, so constructing
+    a second chain (or chaining on top of a bare filter) keeps every
+    earlier adversary in force.
+    """
 
     def __init__(self, network: GossipNetwork) -> None:
         self.network = network
         self._filters: list = []
+        existing = network.drop_filter
+        if existing is not None:
+            self._filters.append(existing)
         network.drop_filter = self._evaluate
 
     def add(self, predicate) -> None:

@@ -45,6 +45,11 @@ class VoteBuffer:
     def rounds_buffered(self) -> set[int]:
         return {round_number for round_number, _ in self._buckets}
 
+    def clear(self) -> None:
+        """Drop every bucket and signal (a crashed node's volatile state)."""
+        self._buckets.clear()
+        self._signals.clear()
+
     def prune_before(self, round_number: int) -> None:
         """Drop buckets for rounds strictly below ``round_number``."""
         stale = [key for key in self._buckets if key[0] < round_number]

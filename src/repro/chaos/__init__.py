@@ -1,0 +1,33 @@
+"""Chaos scenario engine with online invariant checking.
+
+Declarative fault timelines (:mod:`repro.chaos.scenario`) compiled onto
+the simulation clock (:mod:`repro.chaos.faults`), watched live by a
+TraceBus-sink invariant monitor (:mod:`repro.chaos.monitor`), generated
+from seeds (:mod:`repro.chaos.generate`), and executed end to end with a
+deterministic verdict (:mod:`repro.chaos.runner`). ``python -m
+repro.chaos`` is the command-line entry point; docs/CHAOS.md is the
+manual.
+"""
+
+from repro.chaos.faults import FaultInjector, ShaperChain
+from repro.chaos.generate import generate_scenario
+from repro.chaos.monitor import InvariantMonitor, Violation, audit_chains
+from repro.chaos.runner import ChaosVerdict, run_scenario
+from repro.chaos.scenario import (FAULT_KINDS, FaultAction, ScenarioError,
+                                  ScenarioScript, partition_heal_scenario)
+
+__all__ = [
+    "FAULT_KINDS",
+    "ChaosVerdict",
+    "FaultAction",
+    "FaultInjector",
+    "InvariantMonitor",
+    "ScenarioError",
+    "ScenarioScript",
+    "ShaperChain",
+    "Violation",
+    "audit_chains",
+    "generate_scenario",
+    "partition_heal_scenario",
+    "run_scenario",
+]

@@ -1,0 +1,138 @@
+"""Execute one chaos scenario end to end and render a verdict.
+
+:func:`run_scenario` wires the whole stack: a :class:`~repro.obs.TraceBus`
+with the :class:`~repro.chaos.monitor.InvariantMonitor` attached as an
+online sink (plus an optional JSONL trace file), a deterministic
+:class:`~repro.experiments.harness.Simulation`, and a
+:class:`~repro.chaos.faults.FaultInjector` compiling the script onto the
+sim clock. The run stops when every node that is not permanently crashed
+has committed the scenario's target rounds — or when the derived time
+limit expires, which the verdict then explains as a liveness or
+convergence violation rather than a silent timeout.
+
+Verdicts are deterministic: the simulation is seeded, the fault RNG is
+seeded, and :meth:`ChaosVerdict.to_json` serializes with sorted keys —
+re-running the same script yields byte-identical JSON (tested).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.chaos.faults import FaultInjector
+from repro.chaos.monitor import InvariantMonitor, Violation, audit_chains
+from repro.chaos.scenario import ScenarioScript
+from repro.experiments.harness import Simulation, SimulationConfig
+from repro.obs.bus import TraceBus
+from repro.obs.sink import JsonlTraceSink
+
+import json
+
+
+@dataclass
+class ChaosVerdict:
+    """The outcome of one scenario run: green or red, with receipts."""
+
+    scenario: dict
+    ok: bool
+    violations: list[dict]
+    #: Final chain height per node (index-ordered).
+    heights: list[int]
+    converged: bool
+    sim_seconds: float
+    events_seen: int
+    #: The live simulation, for tests and post-mortems; never serialized.
+    sim: Simulation | None = field(default=None, repr=False, compare=False)
+
+    def to_dict(self) -> dict:
+        return {
+            "scenario": self.scenario,
+            "ok": self.ok,
+            "violations": self.violations,
+            "heights": self.heights,
+            "converged": self.converged,
+            "sim_seconds": self.sim_seconds,
+            "events_seen": self.events_seen,
+        }
+
+    def to_json(self) -> str:
+        """Stable serialization: same scenario, same bytes."""
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+
+def _derive_time_limit(script: ScenarioScript) -> float:
+    """A generous ceiling: per-round worst case + fault tail + liveness."""
+    params = SimulationConfig().params
+    per_round = (params.lambda_block
+                 + params.lambda_step * params.max_steps)
+    return (per_round * (script.rounds + 1)
+            + script.last_heal_time() + script.liveness_bound)
+
+
+def run_scenario(script: ScenarioScript, *,
+                 trace_path: str | None = None) -> ChaosVerdict:
+    """Run ``script`` and return its verdict (never raises on red)."""
+    script.validate()
+    bus = TraceBus()
+    monitor = InvariantMonitor(liveness_bound=script.liveness_bound,
+                               heal_time=script.last_heal_time())
+    bus.add_sink(monitor)
+    if trace_path is not None:
+        bus.add_sink(JsonlTraceSink(trace_path))
+
+    sim = Simulation(SimulationConfig(num_users=script.num_users,
+                                      seed=script.seed), obs=bus)
+    injector = FaultInjector(sim, script)
+    injector.install()
+    if script.payments:
+        sim.submit_payments(script.payments)
+
+    for node in sim.nodes:
+        node.start(script.rounds)
+    skip = injector.permanently_crashed
+    survivors = [node for node in sim.nodes if node.index not in skip]
+
+    def finished() -> bool:
+        return all(node.chain.height >= script.rounds
+                   for node in survivors)
+
+    limit = (script.time_limit if script.time_limit is not None
+             else _derive_time_limit(script))
+    sim.env.run(until=limit, stop_when=finished)
+    now = sim.env.now
+
+    violations: list[Violation] = []
+    violations.extend(monitor.finish(now))
+    violations.extend(audit_chains(sim.nodes, backend=sim.backend,
+                                   now=now, skip=skip))
+    laggards = [node.index for node in survivors
+                if node.chain.height < script.rounds]
+    converged = not laggards
+    if laggards:
+        ellipsis = "..." if len(laggards) > 5 else ""
+        violations.append(Violation(
+            invariant="convergence", t=now,
+            detail=(f"nodes {laggards[:5]}{ellipsis} below target height "
+                    f"{script.rounds} when the run ended at t={now:.2f}")))
+    bus.close()
+
+    # Deduplicate while preserving first-seen order (the liveness and
+    # convergence checks can describe the same stall twice).
+    seen: set[tuple] = set()
+    unique = []
+    for violation in violations:
+        key = (violation.invariant, violation.detail)
+        if key not in seen:
+            seen.add(key)
+            unique.append(violation)
+
+    return ChaosVerdict(
+        scenario=script.to_dict(),
+        ok=not unique,
+        violations=[violation.to_dict() for violation in unique],
+        heights=[node.chain.height for node in sim.nodes],
+        converged=converged,
+        sim_seconds=now,
+        events_seen=monitor.events_seen,
+        sim=sim,
+    )

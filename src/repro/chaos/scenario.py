@@ -1,0 +1,261 @@
+"""Declarative chaos scenarios: a seeded timeline of fault actions.
+
+A :class:`ScenarioScript` is pure data — one simulated deployment
+(users, rounds, seed) plus a list of :class:`FaultAction` entries, each
+a time window ``[start, end)`` on the simulated clock during which one
+fault is in force. The script never touches the network itself;
+:class:`repro.chaos.faults.FaultInjector` compiles it onto a live
+:class:`~repro.experiments.harness.Simulation`.
+
+Fault vocabulary (the ``kind`` field):
+
+``partition``
+    Split the network into ``groups`` (complete node coverage is not
+    required; ungrouped nodes share an implicit extra group). Messages
+    crossing group boundaries are dropped until ``end``.
+``delay``
+    Add ``extra_delay`` seconds to every delivery on matching links.
+``loss``
+    Drop each matching delivery independently with probability ``rate``.
+``duplicate``
+    With probability ``rate``, deliver a second copy of the message
+    ``jitter`` seconds later (exercising duplicate suppression).
+``reorder``
+    Add an independent uniform ``[0, jitter)`` extra delay per delivery,
+    so messages overtake each other.
+``crash``
+    Fail-stop ``nodes`` at ``start``; if ``end`` is set they restart
+    there and rejoin via certificate-verified catch-up (section 8.3).
+    ``end=None`` crashes them for good.
+``dos``
+    Disconnect ``nodes`` (targeted denial of service) until ``end``.
+
+For link faults (``delay``/``loss``/``duplicate``/``reorder``), an empty
+``nodes`` tuple means *all* links; otherwise only links whose source or
+destination is listed are affected.
+
+Scripts serialize to/from JSON with stable key order, so a scenario file
+is diffable and a verdict built from one is byte-reproducible.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+
+from repro.common.errors import ReproError
+
+#: Every fault kind the injector knows how to compile.
+FAULT_KINDS = ("partition", "delay", "loss", "duplicate", "reorder",
+               "crash", "dos")
+
+#: Kinds expressed through the gossip ``link_shaper`` hook.
+LINK_FAULTS = frozenset({"delay", "loss", "duplicate", "reorder"})
+
+
+class ScenarioError(ReproError):
+    """A scenario script failed validation."""
+
+
+@dataclass(frozen=True)
+class FaultAction:
+    """One fault window on the simulated clock."""
+
+    kind: str
+    start: float
+    #: End of the window; ``None`` only for permanent crashes.
+    end: float | None = None
+    #: Partition groups (``partition`` only).
+    groups: tuple[tuple[int, ...], ...] = ()
+    #: Target nodes (``crash``/``dos``; optional link filter otherwise).
+    nodes: tuple[int, ...] = ()
+    #: Probability per delivery (``loss``/``duplicate``).
+    rate: float = 0.0
+    #: Added seconds per delivery (``delay``).
+    extra_delay: float = 0.0
+    #: Extra-delay spread in seconds (``reorder``; dup copy offset).
+    jitter: float = 0.0
+
+    def validate(self, num_nodes: int) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ScenarioError(f"unknown fault kind {self.kind!r}")
+        if self.start < 0:
+            raise ScenarioError(f"{self.kind}: start must be >= 0")
+        if self.end is None:
+            if self.kind != "crash":
+                raise ScenarioError(
+                    f"{self.kind}: only crashes may be permanent "
+                    f"(end=None)")
+        elif self.end <= self.start:
+            raise ScenarioError(
+                f"{self.kind}: window must end after it starts "
+                f"({self.start} .. {self.end})")
+        for node in self.nodes:
+            if not 0 <= node < num_nodes:
+                raise ScenarioError(
+                    f"{self.kind}: node {node} out of range 0..{num_nodes - 1}")
+        if self.kind == "partition":
+            if len(self.groups) < 2:
+                raise ScenarioError("partition needs at least 2 groups")
+            seen: set[int] = set()
+            for group in self.groups:
+                for node in group:
+                    if not 0 <= node < num_nodes:
+                        raise ScenarioError(
+                            f"partition: node {node} out of range")
+                    if node in seen:
+                        raise ScenarioError(
+                            f"partition: node {node} in two groups")
+                    seen.add(node)
+        if self.kind in ("crash", "dos") and not self.nodes:
+            raise ScenarioError(f"{self.kind}: needs at least one node")
+        if self.kind in ("loss", "duplicate") and not 0 < self.rate <= 1:
+            raise ScenarioError(f"{self.kind}: rate must be in (0, 1]")
+        if self.kind == "delay" and self.extra_delay <= 0:
+            raise ScenarioError("delay: extra_delay must be positive")
+        if self.kind == "reorder" and self.jitter <= 0:
+            raise ScenarioError("reorder: jitter must be positive")
+
+    def to_dict(self) -> dict:
+        record: dict = {"kind": self.kind, "start": self.start,
+                        "end": self.end}
+        if self.groups:
+            record["groups"] = [list(group) for group in self.groups]
+        if self.nodes:
+            record["nodes"] = list(self.nodes)
+        if self.rate:
+            record["rate"] = self.rate
+        if self.extra_delay:
+            record["extra_delay"] = self.extra_delay
+        if self.jitter:
+            record["jitter"] = self.jitter
+        return record
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "FaultAction":
+        return cls(
+            kind=record["kind"],
+            start=float(record["start"]),
+            end=None if record.get("end") is None else float(record["end"]),
+            groups=tuple(tuple(int(n) for n in group)
+                         for group in record.get("groups", ())),
+            nodes=tuple(int(n) for n in record.get("nodes", ())),
+            rate=float(record.get("rate", 0.0)),
+            extra_delay=float(record.get("extra_delay", 0.0)),
+            jitter=float(record.get("jitter", 0.0)),
+        )
+
+
+@dataclass(frozen=True)
+class ScenarioScript:
+    """One chaos run: deployment shape + fault timeline + liveness bound."""
+
+    name: str
+    seed: int = 0
+    num_users: int = 12
+    rounds: int = 2
+    payments: int = 0
+    #: Seconds after the last fault heals within which a new block must
+    #: commit (the paper's weak-synchrony liveness promise, section 3).
+    liveness_bound: float = 150.0
+    #: Optional hard cap on simulated time; ``None`` derives one from
+    #: the protocol parameters, fault windows, and the liveness bound.
+    time_limit: float | None = None
+    actions: tuple[FaultAction, ...] = field(default_factory=tuple)
+
+    def validate(self) -> None:
+        if self.num_users < 4:
+            raise ScenarioError("scenario needs at least 4 users")
+        if self.rounds < 1:
+            raise ScenarioError("scenario needs at least 1 round")
+        if self.liveness_bound <= 0:
+            raise ScenarioError("liveness_bound must be positive")
+        permanent_crashes: set[int] = set()
+        for action in self.actions:
+            action.validate(self.num_users)
+            if action.kind == "crash" and action.end is None:
+                permanent_crashes.update(action.nodes)
+        if len(permanent_crashes) * 3 >= self.num_users:
+            raise ScenarioError(
+                "permanently crashing >= 1/3 of the users forfeits the "
+                "paper's honest-majority assumption")
+
+    def last_heal_time(self) -> float:
+        """When the final transient fault clears (0.0 when fault-free)."""
+        ends = [action.end for action in self.actions
+                if action.end is not None]
+        return max(ends, default=0.0)
+
+    def permanently_crashed(self) -> frozenset[int]:
+        """Nodes that crash and never restart (excluded from liveness)."""
+        gone: set[int] = set()
+        for action in self.actions:
+            if action.kind == "crash" and action.end is None:
+                gone.update(action.nodes)
+        return frozenset(gone)
+
+    # -- serialization -------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "num_users": self.num_users,
+            "rounds": self.rounds,
+            "payments": self.payments,
+            "liveness_bound": self.liveness_bound,
+            "time_limit": self.time_limit,
+            "actions": [action.to_dict() for action in self.actions],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "ScenarioScript":
+        script = cls(
+            name=str(record["name"]),
+            seed=int(record.get("seed", 0)),
+            num_users=int(record.get("num_users", 12)),
+            rounds=int(record.get("rounds", 2)),
+            payments=int(record.get("payments", 0)),
+            liveness_bound=float(record.get("liveness_bound", 150.0)),
+            time_limit=(None if record.get("time_limit") is None
+                        else float(record["time_limit"])),
+            actions=tuple(FaultAction.from_dict(action)
+                          for action in record.get("actions", ())),
+        )
+        script.validate()
+        return script
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScenarioScript":
+        return cls.from_dict(json.loads(text))
+
+    def with_seed(self, seed: int) -> "ScenarioScript":
+        return replace(self, seed=seed)
+
+
+def partition_heal_scenario(*, num_users: int = 16, seed: int = 31,
+                            start: float = 0.0,
+                            end: float = 50.0) -> ScenarioScript:
+    """The canonical smoke scenario: split in half, stall, heal, commit.
+
+    While partitioned neither half can reach a BA* quorum (thresholds
+    are calibrated to the full committee), so no block — and no fork —
+    can form; after healing the round completes within the liveness
+    bound. This is the weak-synchrony story of sections 3 and 8.3 in one
+    scripted timeline.
+    """
+    half = num_users // 2
+    return ScenarioScript(
+        name="partition-heal",
+        seed=seed,
+        num_users=num_users,
+        rounds=1,
+        actions=(
+            FaultAction(kind="partition", start=start, end=end,
+                        groups=(tuple(range(half)),
+                                tuple(range(half, num_users)))),
+        ),
+    )

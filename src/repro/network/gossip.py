@@ -15,8 +15,12 @@ the latency model. This reproduces both terms the paper's evaluation is
 sensitive to: per-hop latency and size-proportional block propagation.
 
 Adversarial control: a ``drop_filter`` hook inspects every (src, dst,
-envelope) and may drop it — partitions, targeted DoS, and message delays
-are built from this single mechanism (see :mod:`repro.adversary`).
+envelope) and may drop it — partitions and targeted DoS are built from
+this mechanism (see :mod:`repro.adversary`). A second hook,
+``link_shaper``, rewrites per-message delivery *times*: it receives the
+base one-way latency and returns the list of arrival delays, so delay
+spikes, duplication, and reordering faults (see :mod:`repro.chaos`) are
+expressed without touching the latency model.
 """
 
 from __future__ import annotations
@@ -40,6 +44,10 @@ class SupportsLatency(Protocol):
 
 
 DropFilter = Callable[[int, int, Envelope], bool]
+#: (src, dst, envelope, base_delay) -> arrival delays. Empty list drops
+#: the message; more than one entry duplicates it (the copies share the
+#: msg_id, so receivers dedup them exactly like real gossip duplicates).
+LinkShaper = Callable[[int, int, Envelope, float], list[float]]
 RelayPolicy = Callable[[Envelope], bool]
 
 #: Messages at or below this size use the urgent egress lane (votes,
@@ -243,6 +251,7 @@ class GossipNetwork:
         #: disables pruning (the pre-refactor unbounded behavior).
         self.seen_horizon_rounds = seen_horizon_rounds
         self.drop_filter: DropFilter | None = None
+        self.link_shaper: LinkShaper | None = None
         self.messages_delivered = 0
         self.interfaces = [NetworkInterface(self, i)
                            for i in range(num_nodes)]
@@ -274,6 +283,13 @@ class GossipNetwork:
                 self.obs.metrics.inc("gossip.filtered")
             return
         delay = self.latency_model.latency(src, dst)
+        if self.link_shaper is not None:
+            for shaped in self.link_shaper(src, dst, envelope, delay):
+                self.env.schedule(
+                    max(0.0, shaped),
+                    lambda e=envelope: self._arrive(src, dst, e),
+                )
+            return
         self.env.schedule(
             delay,
             lambda: self._arrive(src, dst, envelope),
@@ -291,12 +307,18 @@ class GossipNetwork:
         single event).
         """
         drop_filter = self.drop_filter
+        shaper = self.link_shaper
         latency = self.latency_model.latency
         arrivals = []
         for offset, dst, envelope in items:
             if drop_filter is not None and drop_filter(src, dst, envelope):
                 if self.obs is not None:
                     self.obs.metrics.inc("gossip.filtered")
+                continue
+            if shaper is not None:
+                for shaped in shaper(src, dst, envelope, latency(src, dst)):
+                    arrivals.append((offset + max(0.0, shaped),
+                                     (dst, envelope)))
                 continue
             arrivals.append((offset + latency(src, dst), (dst, envelope)))
         if not arrivals:

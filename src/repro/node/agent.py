@@ -33,7 +33,7 @@ from repro.baplus.protocol import (
     reduction,
 )
 from repro.baplus.voting import BAParticipant, TIMEOUT, count_votes
-from repro.common.errors import ConsensusHalted, InvalidBlock
+from repro.common.errors import ConsensusHalted, InvalidBlock, SimulationError
 from repro.common.params import ProtocolParams
 from repro.crypto.backend import CryptoBackend, KeyPair
 from repro.ledger.block import Block, empty_block, empty_block_hash, validate_block
@@ -82,6 +82,16 @@ class Node:
         self.mempool = Mempool()
         self.metrics = NodeMetrics()
         self.halted = False
+        #: Fail-stop state (see :meth:`crash` / :meth:`restart`). A
+        #: crashed node keeps its chain (persistent storage) but loses
+        #: every volatile structure and stops speaking on the network.
+        self.crashed = False
+        #: Optional catch-up hook consulted at each round boundary and
+        #: after a ConsensusHalted: return a strictly longer validated
+        #: :class:`~repro.ledger.blockchain.Blockchain` to adopt (built
+        #: e.g. by :func:`repro.node.catchup.resync_from_peers`), or
+        #: ``None`` to keep the current chain.
+        self.resync: Callable[[], Blockchain | None] | None = None
         #: Optional :class:`repro.obs.TraceBus`; ``None`` keeps every
         #: instrumentation site at a single attribute check.
         self.obs = obs
@@ -95,6 +105,9 @@ class Node:
         self._seen_votes: set[tuple[bytes, int, str]] = set()
         self._seen_priorities: set[tuple[bytes, int]] = set()
         self._round_process: Process | None = None
+        #: Background processes spawned by the round loop (pipelined
+        #: final-vote counts); tracked so :meth:`crash` can kill them.
+        self._background: list[Process] = []
         #: Declarative gossip dispatch. Core kinds are registered below;
         #: protocol extensions (fork recovery, chain sync) register their
         #: own kinds instead of monkey-patching the dispatch chain.
@@ -207,6 +220,62 @@ class Node:
         return self._round_process
 
     # ------------------------------------------------------------------
+    # Fail-stop crash and rejoin (the chaos engine's fault model)
+    # ------------------------------------------------------------------
+
+    def crash(self) -> None:
+        """Fail-stop this node mid-whatever-it-was-doing.
+
+        The round loop and any pipelined final-vote counts are killed at
+        their current wait points, the gossip attachment goes silent,
+        and every volatile structure (vote buffer, proposal trackers,
+        mempool, dedup sets) is lost. The chain itself survives — it
+        models persistent storage, which is exactly what a restarted
+        node replays its peers' history on top of (section 8.3).
+        """
+        if self.crashed:
+            return
+        self.crashed = True
+        if self._round_process is not None and not self._round_process.done:
+            self._round_process.interrupt()
+        for process in self._background:
+            if not process.done:
+                process.interrupt()
+        self._background.clear()
+        self.interface.disconnected = True
+        self.buffer.clear()
+        self.mempool = Mempool()
+        self._trackers.clear()
+        self._seen_votes.clear()
+        self._seen_priorities.clear()
+        self.fork_monitor.clear()
+        if self.obs is not None:
+            self.obs.emit("node_crashed", node=self.index,
+                          round=self.chain.next_round)
+
+    def restart(self, target_height: int) -> Process:
+        """Rejoin after a :meth:`crash`: reconnect and resume the loop.
+
+        The restarted node first consults its :attr:`resync` hook (at
+        the loop top), replaying any longer peer history certificate by
+        certificate via :mod:`repro.node.catchup`, then participates in
+        the current round like a bootstrapping user.
+        """
+        if not self.crashed:
+            raise SimulationError(
+                f"node {self.index} is not crashed; cannot restart")
+        self.crashed = False
+        self.halted = False
+        self.interface.disconnected = False
+        if self.obs is not None:
+            self.obs.emit("node_restarted", node=self.index,
+                          round=self.chain.next_round)
+        self._round_process = self.env.process(
+            self._round_loop(target_height),
+            f"node-{self.index}-restart")
+        return self._round_process
+
+    # ------------------------------------------------------------------
     # Round loop
     # ------------------------------------------------------------------
 
@@ -247,13 +316,37 @@ class Node:
 
     def _round_loop(self, target_height: int):
         while self.chain.height < target_height and not self.halted:
+            if self._try_resync():
+                continue
             try:
                 yield from self.run_one_round()
             except ConsensusHalted:
+                # Exhausting MaxSteps usually means the rest of the
+                # network moved on without us (we were crashed, late, or
+                # partitioned); catching up from peers is the section
+                # 8.3 answer before giving up for good.
+                if self._try_resync():
+                    continue
                 self.halted = True
                 if self.obs is not None:
                     self.obs.emit("consensus_halted", node=self.index,
                                   round=self.chain.next_round)
+
+    def _try_resync(self) -> bool:
+        """Adopt a strictly longer validated chain from the resync hook."""
+        if self.resync is None:
+            return False
+        adopted = self.resync()
+        if adopted is None or adopted.height <= self.chain.height:
+            return False
+        from_height = self.chain.height
+        self.chain = adopted
+        if self.obs is not None:
+            self.obs.emit("catchup_adopted", node=self.index,
+                          round=self.chain.next_round,
+                          from_height=from_height,
+                          to_height=self.chain.height)
+        return True
 
     def run_one_round(self):
         """Execute one full round; generator driven by the event loop."""
@@ -296,9 +389,10 @@ class Node:
             # Section 10.2 optimization: commit now, count final votes
             # concurrently with the next round; the kind is patched into
             # the metrics record when the count lands.
-            self.env.process(
+            self._background = [p for p in self._background if not p.done]
+            self._background.append(self.env.process(
                 self._pipelined_final(ctx, round_number, binary.value),
-                f"final-{self.index}-{round_number}")
+                f"final-{self.index}-{round_number}"))
             kind = TENTATIVE
         else:
             final_vote = yield from count_votes(

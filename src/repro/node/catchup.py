@@ -199,6 +199,38 @@ class ChainSync:
         self.node.router.unregister("chain")
 
 
+def resync_from_peers(node: "Node",
+                      peers: Iterable["Node"]) -> Blockchain | None:
+    """Crash-rejoin catch-up: replay the longest valid peer chain.
+
+    Scans ``peers`` for the longest chain strictly ahead of ``node``'s,
+    then replays it from genesis with full certificate verification
+    (:func:`replay_chain` via :func:`catch_up_from`) — a rejoining user
+    trusts nothing it did not check. Returns the validated replica, or
+    ``None`` when no peer is ahead or the best candidate fails
+    validation. Designed to be bound as ``node.resync`` (consulted by
+    the round loop at round boundaries and after a stalled round).
+    """
+    best: Blockchain | None = None
+    for peer in peers:
+        if peer is node or getattr(peer, "crashed", False):
+            continue
+        chain = peer.chain
+        if chain.height > node.chain.height and (
+                best is None or chain.height > best.height):
+            best = chain
+    if best is None:
+        return None
+    try:
+        return catch_up_from(
+            best, params=node.params, backend=node.backend,
+            initial_balances=node.chain.initial_balances,
+            genesis_seed=node.chain.genesis_seed,
+        )
+    except (InvalidCertificate, LedgerError):
+        return None
+
+
 def catch_up_from(node_chain: Blockchain, *, params: ProtocolParams,
                   backend: CryptoBackend,
                   initial_balances: Mapping[bytes, int],

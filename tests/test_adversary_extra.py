@@ -41,6 +41,20 @@ class TestFilterChain:
         chain.remove(predicate)
         assert not chain._evaluate(0, 1, envelope)
 
+    def test_composes_with_preinstalled_drop_filter(self):
+        # Regression: installing a FilterChain used to silently clobber
+        # whatever drop_filter was already on the network; it must be
+        # absorbed as the chain's first predicate instead.
+        sim = Simulation(SimulationConfig(num_users=4, seed=1))
+        sim.network.drop_filter = lambda s, d, e: s == 3
+        chain = FilterChain(sim.network)
+        chain.add(lambda s, d, e: d == 1)
+        envelope = Envelope(origin=b"o", kind="t", payload=None, size=10)
+        assert sim.network.drop_filter == chain._evaluate
+        assert chain._evaluate(3, 0, envelope)  # pre-existing filter
+        assert chain._evaluate(0, 1, envelope)  # newly added predicate
+        assert not chain._evaluate(0, 2, envelope)
+
 
 class TestPartitionerMechanics:
     def test_heal_is_idempotent(self):
