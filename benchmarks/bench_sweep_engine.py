@@ -1,0 +1,62 @@
+"""Sweep-engine benchmark: the parallel grid must pay for itself.
+
+Unlike the figure benches (which reproduce paper numbers), this one
+measures the *infrastructure*: a latency grid run serially in-process
+versus fanned over worker processes. It asserts the engine's two
+contracts — byte-identical merged output regardless of ``jobs``, and
+engine overhead small relative to the points themselves. On multi-core
+runners the parallel run should also be faster; that is asserted softly
+(>= 1.0x at one core, where only overhead separates the two).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+
+from conftest import print_table
+
+from repro.experiments.latency import figure5_specs
+from repro.experiments.metrics import format_table
+from repro.experiments.sweep import run_sweep
+
+#: 8 points: the Figure 5 axis x two seeds, small enough for CI.
+SPECS = (figure5_specs([20, 30, 40, 50], seed=100, payload_bytes=10_000)
+         + figure5_specs([20, 30, 40, 50], seed=200,
+                         payload_bytes=10_000))
+
+
+def _run_pair():
+    serial_start = time.perf_counter()
+    serial = run_sweep(SPECS, jobs=1)
+    serial_seconds = time.perf_counter() - serial_start
+
+    jobs = max(2, min(4, multiprocessing.cpu_count()))
+    parallel_start = time.perf_counter()
+    parallel = run_sweep(SPECS, jobs=jobs)
+    parallel_seconds = time.perf_counter() - parallel_start
+    return serial, serial_seconds, parallel, parallel_seconds, jobs
+
+
+def test_sweep_parallel_matches_serial(benchmark):
+    (serial, serial_seconds, parallel, parallel_seconds,
+     jobs) = benchmark.pedantic(_run_pair, rounds=1, iterations=1)
+
+    speedup = serial_seconds / parallel_seconds
+    print_table(
+        "Sweep engine: 8-point latency grid, serial vs parallel",
+        format_table(
+            ["mode", "jobs", "wall s", "speedup"],
+            [["serial (in-process)", 1, f"{serial_seconds:.2f}", "1.00x"],
+             ["parallel", jobs, f"{parallel_seconds:.2f}",
+              f"{speedup:.2f}x"]]))
+
+    assert not serial.failures and not parallel.failures
+    # Contract 1: merged output is byte-identical for any --jobs.
+    assert serial.merged_json() == parallel.merged_json()
+    # Contract 2: fan-out never costs more than ~2x serial even on a
+    # single-core box (process startup is the only extra work); with
+    # >= 2 real cores it should come out ahead.
+    assert speedup > 0.5
+    if multiprocessing.cpu_count() >= 4:
+        assert speedup > 1.5

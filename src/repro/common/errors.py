@@ -48,6 +48,35 @@ class SimulationError(ReproError):
     """The discrete-event simulation reached an inconsistent state."""
 
 
+class ConfigError(ReproError, ValueError):
+    """A simulation or experiment was configured inconsistently.
+
+    Subclasses :class:`ValueError` so callers written against the
+    original bare ``ValueError``\\ s (``except ValueError`` /
+    ``pytest.raises(ValueError)``) keep working while new code can
+    catch the typed hierarchy.
+    """
+
+
+class PopulationError(ConfigError):
+    """User / malicious / observer counts are out of range or inconsistent
+    (negative counts, no honest user left at index 0, empty deployment)."""
+
+
+class BalancesError(ConfigError):
+    """An explicit balance table does not match the configured population
+    (wrong length, negative stake)."""
+
+
+class LatencyModelError(ConfigError):
+    """An unknown network latency model was requested."""
+
+
+class SpecError(ConfigError):
+    """An :class:`~repro.experiments.spec.ExperimentSpec` carries
+    out-of-range values (bad sweep fraction, non-positive wait, ...)."""
+
+
 class NetworkError(ReproError):
     """The simulated network was misconfigured (unknown peer, bad topology)."""
 

@@ -1,8 +1,16 @@
-"""Experiment harness and per-figure/table runners for the evaluation."""
+"""Experiment harness and per-figure/table runners for the evaluation.
+
+The unified experiment-point API lives in :mod:`repro.experiments.spec`
+(frozen :class:`ExperimentSpec` dataclasses + one ``run_point``
+dispatcher) and the process-parallel grid engine in
+:mod:`repro.experiments.sweep`; the per-figure modules contribute the
+measurement logic and sweep-ready grid builders.
+"""
 
 from repro.experiments.adversarial import (
     AdversarialPoint,
     figure8,
+    figure8_specs,
     run_adversarial_point,
 )
 from repro.experiments.costs import (
@@ -15,15 +23,35 @@ from repro.experiments.harness import Simulation, SimulationConfig
 from repro.experiments.latency import (
     LatencyPoint,
     figure5,
+    figure5_specs,
     figure6,
+    figure6_specs,
     flatness,
     run_latency_point,
 )
 from repro.experiments.metrics import LatencySummary, format_table
+from repro.experiments.spec import (
+    AdversarialSpec,
+    BlockSizeSpec,
+    ExperimentSpec,
+    LatencySpec,
+    PointResult,
+    SPEC_KINDS,
+    WaitingSpec,
+    run_point,
+    spec_from_json,
+)
+from repro.experiments.sweep import (
+    PointOutcome,
+    SweepReport,
+    load_checkpoint,
+    run_sweep,
+)
 from repro.experiments.throughput import (
     BlockSizePoint,
     ThroughputRow,
     figure7,
+    figure7_specs,
     paper_scale_projection,
     run_block_size_point,
     throughput_table,
@@ -31,6 +59,7 @@ from repro.experiments.throughput import (
 from repro.experiments.waiting import (
     WaitingPoint,
     run_waiting_point,
+    waiting_specs,
     waiting_tradeoff,
 )
 from repro.experiments.timeouts import (
@@ -42,6 +71,24 @@ from repro.experiments.timeouts import (
 __all__ = [
     "Simulation",
     "SimulationConfig",
+    "ExperimentSpec",
+    "LatencySpec",
+    "AdversarialSpec",
+    "BlockSizeSpec",
+    "WaitingSpec",
+    "SPEC_KINDS",
+    "PointResult",
+    "run_point",
+    "spec_from_json",
+    "PointOutcome",
+    "SweepReport",
+    "run_sweep",
+    "load_checkpoint",
+    "figure5_specs",
+    "figure6_specs",
+    "figure7_specs",
+    "figure8_specs",
+    "waiting_specs",
     "LatencySummary",
     "format_table",
     "LatencyPoint",

@@ -2,17 +2,27 @@
 
 Usage::
 
-    python -m repro.experiments              # everything (~10 min)
+    python -m repro.experiments                  # everything (~10 min)
     python -m repro.experiments fig5 tab_costs   # a subset
+    python -m repro.experiments --jobs 4 fig5    # sweep artifacts in parallel
+    python -m repro.experiments sweep --jobs 4   # raw grid -> merged JSON
 
-Artifacts: fig3, fig5, fig6, fig7, fig8, tab_throughput, tab_costs,
-tab_timeouts, tab_params, obs. Output is printed as ASCII tables; the same
-code paths run under ``pytest benchmarks/ --benchmark-only``.
+Artifacts are registered declaratively in :data:`ARTIFACTS`. Sweep-style
+artifacts (fig5, fig6, fig7, fig8, tab_throughput, tab_waiting) are
+expressed as a spec grid plus a renderer and route through the parallel
+sweep engine (:mod:`repro.experiments.sweep`); analytic artifacts are
+plain callables. The ``sweep`` subcommand exposes the engine directly:
+it builds a grid, fans it over ``--jobs`` worker processes, writes a
+deterministic merged JSON (byte-identical for any ``--jobs``), and
+checkpoints finished points so an interrupted sweep resumes.
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
+from dataclasses import dataclass
+from typing import Callable
 
 from repro.analysis.committee import (
     certificate_forgery_log2,
@@ -22,24 +32,111 @@ from repro.analysis.committee import (
 )
 from repro.baselines.nakamoto import NakamotoConfig, throughput_bytes_per_hour
 from repro.common.params import PAPER_PARAMS
-from repro.experiments.adversarial import figure8
+from repro.experiments.adversarial import figure8_specs
 from repro.experiments.costs import expected_certificate_bytes, measure_costs
-from repro.experiments.latency import figure5, figure6, flatness
+from repro.experiments.latency import figure5_specs, figure6_specs
 from repro.experiments.metrics import format_table
+from repro.experiments.spec import (
+    AdversarialSpec,
+    BlockSizeSpec,
+    ExperimentSpec,
+    LatencySpec,
+    WaitingSpec,
+)
+from repro.experiments.sweep import PointOutcome, SweepReport, run_sweep
 from repro.experiments.throughput import (
-    figure7,
+    BlockSizePoint,
+    figure7_specs,
     paper_scale_projection,
     throughput_table,
 )
 from repro.experiments.timeouts import measure_priority_gossip, measure_timeouts
+from repro.experiments.waiting import waiting_specs
 
 
 def _banner(title: str) -> None:
     print(f"\n{'=' * 66}\n{title}\n{'=' * 66}")
 
 
+# ---------------------------------------------------------------------
+# Renderers for sweep artifacts (take the engine's JSON-safe payloads)
+# ---------------------------------------------------------------------
+
+
+def _summary_row(result: dict) -> list[str]:
+    """min/p25/median/p75/max cells from a serialized LatencySummary."""
+    summary = result["summary"]
+    cells = []
+    for key in ("minimum", "p25", "median", "p75", "maximum"):
+        value = summary[key]
+        cells.append("nan" if value is None else round(value, 2))
+    return cells
+
+
+def _latency_flatness(results: list[dict]) -> float:
+    medians = [r["summary"]["median"] for r in results
+               if r["summary"]["median"] is not None]
+    return max(medians) / min(medians) if medians else float("nan")
+
+
+def _render_latency(results: list[dict]) -> str:
+    table = format_table(
+        ["users", "min", "p25", "median", "p75", "max"],
+        [[r["num_users"]] + _summary_row(r) for r in results])
+    return (f"{table}\nflatness (max/min median): "
+            f"{_latency_flatness(results):.2f} (paper: near-constant)")
+
+
+def _render_fig7(results: list[dict]) -> str:
+    rows = []
+    for r in results:
+        total = r["proposal_time"] + r["ba_time"] + r["final_step_time"]
+        rows.append([r["block_size"], f"{r['proposal_time']:.2f}",
+                     f"{r['ba_time']:.2f}", f"{r['final_step_time']:.2f}",
+                     f"{total:.2f}"])
+    return format_table(["block B", "proposal", "BA*", "final", "total"],
+                        rows)
+
+
+def _render_fig8(results: list[dict]) -> str:
+    rows = []
+    for r in results:
+        cells = _summary_row(r)
+        rows.append([f"{r['malicious_fraction']:.0%}", cells[0], cells[2],
+                     cells[4], r["agreed"], r["empty_rounds"]])
+    return format_table(
+        ["malicious", "min", "median", "max", "agreed", "empty rounds"],
+        rows)
+
+
+def _render_tab_throughput(results: list[dict]) -> str:
+    points = [BlockSizePoint(**r) for r in results]
+    rows = throughput_table(points)
+    table = format_table(
+        ["system", "block B", "round s", "MB/hour", "vs bitcoin"],
+        [[r.system, r.block_size, f"{r.round_time:.1f}",
+          f"{r.bytes_per_hour / 1e6:.1f}", f"{r.ratio_vs_bitcoin:.1f}x"]
+         for r in rows])
+    projection = paper_scale_projection()
+    bitcoin = throughput_bytes_per_hour(NakamotoConfig())
+    return (f"{table}\npaper-scale projection (10 MB blocks): "
+            f"{projection / 1e6:.0f} MB/h = {projection / bitcoin:.0f}x "
+            f"Bitcoin (paper: ~750 MB/h, 125x)")
+
+
+def _render_tab_waiting(results: list[dict]) -> str:
+    return format_table(
+        ["wait", "empty rounds", "median latency"],
+        [[f"{r['wait_seconds']:.2f} s", f"{r['empty_fraction']:.0%}",
+          f"{r['median_latency']:.2f} s"] for r in results])
+
+
+# ---------------------------------------------------------------------
+# Analytic / non-sweep artifacts (plain callables)
+# ---------------------------------------------------------------------
+
+
 def run_fig3() -> None:
-    _banner("Figure 3: committee size vs honest fraction (eps = 5e-9)")
     points = figure3_curve([0.78, 0.80, 0.84, 0.88])
     print(format_table(
         ["h", "tau", "T"],
@@ -49,62 +146,7 @@ def run_fig3() -> None:
           f"(violation {check_paper_step_parameters():.1e})")
 
 
-def run_fig5() -> None:
-    _banner("Figure 5: round latency vs #users (simulated seconds)")
-    points = figure5([30, 60, 120], seed=100, payload_bytes=40_000)
-    print(format_table(
-        ["users", "min", "p25", "median", "p75", "max"],
-        [[p.num_users] + list(p.summary.row().values()) for p in points]))
-    print(f"flatness (max/min median): {flatness(points):.2f} "
-          f"(paper: near-constant)")
-
-
-def run_fig6() -> None:
-    _banner("Figure 6: latency under 10x bandwidth contention")
-    points = figure6([60, 120], seed=200)
-    print(format_table(
-        ["users", "min", "p25", "median", "p75", "max"],
-        [[p.num_users] + list(p.summary.row().values()) for p in points]))
-    print(f"flatness: {flatness(points):.2f}")
-
-
-def run_fig7() -> None:
-    _banner("Figure 7: round segments vs block size")
-    points = figure7([1_000, 50_000, 200_000], seed=300, num_users=30)
-    print(format_table(
-        ["block B", "proposal", "BA*", "final", "total"],
-        [[p.block_size, f"{p.proposal_time:.2f}", f"{p.ba_time:.2f}",
-          f"{p.final_step_time:.2f}", f"{p.total:.2f}"] for p in points]))
-
-
-def run_fig8() -> None:
-    _banner("Figure 8: latency vs fraction of malicious users")
-    points = figure8([0.0, 0.10, 0.20], num_users=20, seed=700)
-    print(format_table(
-        ["malicious", "min", "median", "max", "agreed", "empty rounds"],
-        [[f"{p.malicious_fraction:.0%}", p.summary.row()["min"],
-          p.summary.row()["median"], p.summary.row()["max"], p.agreed,
-          p.empty_rounds] for p in points]))
-
-
-def run_tab_throughput() -> None:
-    _banner("Section 10.2: throughput vs Bitcoin")
-    points = figure7([50_000, 200_000], seed=400, num_users=30)
-    rows = throughput_table(points)
-    print(format_table(
-        ["system", "block B", "round s", "MB/hour", "vs bitcoin"],
-        [[r.system, r.block_size, f"{r.round_time:.1f}",
-          f"{r.bytes_per_hour / 1e6:.1f}", f"{r.ratio_vs_bitcoin:.1f}x"]
-         for r in rows]))
-    projection = paper_scale_projection()
-    bitcoin = throughput_bytes_per_hour(NakamotoConfig())
-    print(f"paper-scale projection (10 MB blocks): "
-          f"{projection / 1e6:.0f} MB/h = {projection / bitcoin:.0f}x "
-          f"Bitcoin (paper: ~750 MB/h, 125x)")
-
-
 def run_tab_costs() -> None:
-    _banner("Section 10.3: per-user costs")
     report = measure_costs(40, rounds=3, seed=500, payload_bytes=40_000)
     print(format_table(["metric", "measured"], [
         ["bandwidth / user",
@@ -121,7 +163,6 @@ def run_tab_costs() -> None:
 
 
 def run_tab_timeouts() -> None:
-    _banner("Section 10.5: timeout validation")
     report = measure_timeouts(40, rounds=3, seed=800)
     print(format_table(["quantity", "measured", "budget"], [
         ["BA* step p99", f"{report.step_p99:.2f} s",
@@ -137,7 +178,6 @@ def run_tab_timeouts() -> None:
 
 
 def run_tab_params() -> None:
-    _banner("Figure 4: implementation parameters")
     p = PAPER_PARAMS
     print(format_table(["parameter", "value"], [
         ["h", f"{p.honest_fraction:.0%}"],
@@ -155,7 +195,6 @@ def run_tab_params() -> None:
 
 
 def run_tab_related() -> None:
-    _banner("Sections 1-2: double-spend wait and related systems")
     from repro.baselines.doublespend import speedup_table
     from repro.baselines.related import comparison_rows
     print(format_table(
@@ -170,18 +209,22 @@ def run_tab_related() -> None:
          for p in comparison_rows()]))
 
 
-def run_tab_waiting() -> None:
-    _banner("Section 6: proposal-wait trade-off")
-    from repro.experiments.waiting import waiting_tradeoff
-    points = waiting_tradeoff([0.02, 0.5, 2.0], seed=10)
+def run_tab_scalability() -> None:
+    from repro.analysis.graph import diameter_scaling
+    from repro.analysis.steps import (
+        COMMON_CASE_STEPS,
+        expected_total_steps_worst_case,
+    )
     print(format_table(
-        ["wait", "empty rounds", "median latency"],
-        [[f"{p.wait_seconds:.2f} s", f"{p.empty_fraction:.0%}",
-          f"{p.median_latency:.2f} s"] for p in points]))
+        ["users", "giant component", "diameter"],
+        [[r.num_nodes, f"{r.giant_component_fraction:.3f}", r.diameter]
+         for r in diameter_scaling([50, 400, 3200])]))
+    print(f"BA* steps: {COMMON_CASE_STEPS} common case, "
+          f"{expected_total_steps_worst_case():.0f} expected worst case "
+          f"(paper: 4 and 13)")
 
 
 def run_obs() -> None:
-    _banner("Observability: traced 2-round deployment + report")
     from repro.experiments.harness import Simulation, SimulationConfig
     from repro.obs import TraceBus
     from repro.obs.report import render_report
@@ -203,48 +246,219 @@ def run_obs() -> None:
           f"router unknown-kind drops: {summary['router_unknown_kinds']}")
 
 
-def run_tab_scalability() -> None:
-    _banner("Section 8.4 topology + section 7 step counts")
-    from repro.analysis.graph import diameter_scaling
-    from repro.analysis.steps import (
-        COMMON_CASE_STEPS,
-        expected_total_steps_worst_case,
-    )
-    print(format_table(
-        ["users", "giant component", "diameter"],
-        [[r.num_nodes, f"{r.giant_component_fraction:.3f}", r.diameter]
-         for r in diameter_scaling([50, 400, 3200])]))
-    print(f"BA* steps: {COMMON_CASE_STEPS} common case, "
-          f"{expected_total_steps_worst_case():.0f} expected worst case "
-          f"(paper: 4 and 13)")
+# ---------------------------------------------------------------------
+# The declarative artifact registry
+# ---------------------------------------------------------------------
 
 
-ARTIFACTS = {
-    "fig3": run_fig3,
-    "fig5": run_fig5,
-    "fig6": run_fig6,
-    "fig7": run_fig7,
-    "fig8": run_fig8,
-    "tab_throughput": run_tab_throughput,
-    "tab_costs": run_tab_costs,
-    "tab_timeouts": run_tab_timeouts,
-    "tab_params": run_tab_params,
-    "tab_related": run_tab_related,
-    "tab_waiting": run_tab_waiting,
-    "tab_scalability": run_tab_scalability,
-    "obs": run_obs,
-}
+@dataclass(frozen=True)
+class Artifact:
+    """One regenerable paper artifact.
+
+    Sweep artifacts define ``specs`` (the grid) + ``render`` (payloads ->
+    table) and route through the engine; analytic artifacts define only
+    ``runner``.
+    """
+
+    name: str
+    title: str
+    specs: Callable[[], list[ExperimentSpec]] | None = None
+    render: Callable[[list[dict]], str] | None = None
+    runner: Callable[[], None] | None = None
+
+    def run(self, jobs: int = 1) -> None:
+        _banner(self.title)
+        if self.specs is not None:
+            report = run_sweep(self.specs(), jobs=jobs)
+            for failure in report.failures:
+                print(f"point {failure.index} failed: {failure.error}")
+            print(self.render(
+                [o.result for o in report.outcomes if o.ok]))
+        else:
+            self.runner()
+
+
+_ARTIFACT_LIST = [
+    Artifact("fig3",
+             "Figure 3: committee size vs honest fraction (eps = 5e-9)",
+             runner=run_fig3),
+    Artifact("fig5", "Figure 5: round latency vs #users (simulated seconds)",
+             specs=lambda: figure5_specs([30, 60, 120], seed=100,
+                                         payload_bytes=40_000),
+             render=_render_latency),
+    Artifact("fig6", "Figure 6: latency under 10x bandwidth contention",
+             specs=lambda: figure6_specs([60, 120], seed=200),
+             render=_render_latency),
+    Artifact("fig7", "Figure 7: round segments vs block size",
+             specs=lambda: figure7_specs([1_000, 50_000, 200_000], seed=300,
+                                         num_users=30),
+             render=_render_fig7),
+    Artifact("fig8", "Figure 8: latency vs fraction of malicious users",
+             specs=lambda: figure8_specs([0.0, 0.10, 0.20], num_users=20,
+                                         seed=700),
+             render=_render_fig8),
+    Artifact("tab_throughput", "Section 10.2: throughput vs Bitcoin",
+             specs=lambda: figure7_specs([50_000, 200_000], seed=400,
+                                         num_users=30),
+             render=_render_tab_throughput),
+    Artifact("tab_costs", "Section 10.3: per-user costs",
+             runner=run_tab_costs),
+    Artifact("tab_timeouts", "Section 10.5: timeout validation",
+             runner=run_tab_timeouts),
+    Artifact("tab_params", "Figure 4: implementation parameters",
+             runner=run_tab_params),
+    Artifact("tab_related",
+             "Sections 1-2: double-spend wait and related systems",
+             runner=run_tab_related),
+    Artifact("tab_waiting", "Section 6: proposal-wait trade-off",
+             specs=lambda: waiting_specs([0.02, 0.5, 2.0], seed=10),
+             render=_render_tab_waiting),
+    Artifact("tab_scalability",
+             "Section 8.4 topology + section 7 step counts",
+             runner=run_tab_scalability),
+    Artifact("obs", "Observability: traced 2-round deployment + report",
+             runner=run_obs),
+]
+
+ARTIFACTS: dict[str, Artifact] = {a.name: a for a in _ARTIFACT_LIST}
+
+
+# ---------------------------------------------------------------------
+# The sweep subcommand
+# ---------------------------------------------------------------------
+
+
+def _csv_ints(text: str) -> list[int]:
+    return [int(item) for item in text.split(",") if item]
+
+
+def _csv_floats(text: str) -> list[float]:
+    return [float(item) for item in text.split(",") if item]
+
+
+def build_grid(args: argparse.Namespace) -> list[ExperimentSpec]:
+    """Materialize the requested grid (axis values x seeds)."""
+    specs: list[ExperimentSpec] = []
+    for seed in args.seeds:
+        if args.grid == "latency":
+            rounds = args.rounds or 1
+            specs.extend(LatencySpec(
+                num_users=n, seed=seed, rounds=rounds,
+                payload_bytes=args.payload_bytes,
+                measure_round=rounds) for n in args.users)
+        elif args.grid == "adversarial":
+            specs.extend(AdversarialSpec(
+                fraction=f, num_users=args.users[0], seed=seed,
+                rounds=args.rounds or 2) for f in args.fractions)
+        elif args.grid == "blocksize":
+            specs.extend(BlockSizeSpec(
+                block_size=b, num_users=args.users[0], seed=seed)
+                for b in args.sizes)
+        elif args.grid == "waiting":
+            specs.extend(WaitingSpec(
+                wait_seconds=w, num_users=args.users[0], seed=seed,
+                rounds=args.rounds or 3) for w in args.waits)
+    return specs
+
+
+def sweep_main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments sweep",
+        description="Fan an experiment grid over worker processes; "
+                    "merged output is byte-identical for any --jobs.")
+    parser.add_argument("--grid", default="latency",
+                        choices=["latency", "adversarial", "blocksize",
+                                 "waiting"])
+    parser.add_argument("--users", type=_csv_ints, default=[8, 10, 12],
+                        help="population axis (latency) or the fixed "
+                             "population (other grids)")
+    parser.add_argument("--seeds", type=_csv_ints, default=[0, 1, 2, 3],
+                        help="seed axis; the grid is axis x seeds")
+    parser.add_argument("--fractions", type=_csv_floats,
+                        default=[0.0, 0.1, 0.2],
+                        help="malicious-stake axis (adversarial grid)")
+    parser.add_argument("--sizes", type=_csv_ints,
+                        default=[1_000, 10_000, 50_000],
+                        help="block-size axis (blocksize grid)")
+    parser.add_argument("--waits", type=_csv_floats, default=[0.5, 2.0],
+                        help="wait-window axis (waiting grid)")
+    parser.add_argument("--rounds", type=int, default=0,
+                        help="rounds per point (0 = grid default)")
+    parser.add_argument("--payload-bytes", type=int, default=0)
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes (1 = in-process serial)")
+    parser.add_argument("--timeout", type=float, default=None,
+                        help="per-point timeout in wall seconds")
+    parser.add_argument("--retries", type=int, default=1,
+                        help="relaunches after a crash/timeout per point")
+    parser.add_argument("--checkpoint", default=None,
+                        help="JSONL checkpoint; finished points are "
+                             "skipped on resume")
+    parser.add_argument("--out", default=None,
+                        help="write the merged JSON artifact here "
+                             "(default: stdout)")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress per-point progress lines")
+    args = parser.parse_args(argv)
+
+    specs = build_grid(args)
+    if not specs:
+        print("empty grid", file=sys.stderr)
+        return 2
+
+    def progress(outcome: PointOutcome, total: int) -> None:
+        status = "ok" if outcome.ok else f"FAILED ({outcome.error})"
+        origin = " [checkpoint]" if outcome.resumed else ""
+        print(f"[{outcome.index + 1:>3}/{total}] "
+              f"{outcome.spec.kind} seed={outcome.spec.seed} "
+              f"{status} in {outcome.wall_time:.2f}s"
+              f"{origin}", file=sys.stderr)
+
+    report: SweepReport = run_sweep(
+        specs, jobs=args.jobs, timeout=args.timeout, retries=args.retries,
+        checkpoint=args.checkpoint,
+        progress=None if args.quiet else progress)
+
+    merged = report.merged_json()
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(merged)
+        print(f"wrote {len(report.outcomes)} points "
+              f"({len(report.failures)} failed) to {args.out} "
+              f"in {report.wall_time:.2f}s with --jobs {args.jobs}",
+              file=sys.stderr)
+    else:
+        sys.stdout.write(merged)
+    return 1 if report.failures else 0
+
+
+# ---------------------------------------------------------------------
+# Entry point
+# ---------------------------------------------------------------------
 
 
 def main(argv: list[str]) -> int:
+    if argv and argv[0] == "sweep":
+        return sweep_main(argv[1:])
+    jobs = 1
+    if "--jobs" in argv:
+        at = argv.index("--jobs")
+        try:
+            jobs = int(argv[at + 1])
+        except (IndexError, ValueError):
+            print("--jobs requires an integer argument")
+            return 2
+        argv = argv[:at] + argv[at + 2:]
     requested = argv or list(ARTIFACTS)
     unknown = [name for name in requested if name not in ARTIFACTS]
     if unknown:
         print(f"unknown artifact(s): {', '.join(unknown)}")
-        print(f"available: {', '.join(ARTIFACTS)}")
+        print(f"available: {', '.join(ARTIFACTS)} "
+              f"(plus the 'sweep' subcommand; see "
+              f"'python -m repro.experiments sweep --help')")
         return 2
     for name in requested:
-        ARTIFACTS[name]()
+        ARTIFACTS[name].run(jobs=jobs)
     return 0
 
 

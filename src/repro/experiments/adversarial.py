@@ -9,6 +9,7 @@ for this particular attack, Algorand is not significantly affected."
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 from repro.adversary.strategies import MaliciousNode
@@ -16,6 +17,11 @@ from repro.common.errors import NoSamplesError
 from repro.common.params import ProtocolParams, TEST_PARAMS
 from repro.experiments.harness import Simulation, SimulationConfig
 from repro.experiments.metrics import LatencySummary
+from repro.experiments.spec import (
+    AdversarialSpec,
+    register_runner,
+    run_point,
+)
 
 #: Malicious-stake fractions swept by Figure 8.
 FIGURE8_FRACTIONS = [0.0, 0.05, 0.10, 0.15, 0.20]
@@ -32,18 +38,15 @@ class AdversarialPoint:
     empty_rounds: int     # attack cost: rounds forced to the empty block
 
 
-def run_adversarial_point(fraction: float, *, num_users: int = 20,
-                          rounds: int = 2, seed: int = 0,
-                          params: ProtocolParams | None = None
-                          ) -> AdversarialPoint:
-    """Deploy `fraction` malicious stake and measure honest latency."""
-    if not 0 <= fraction < 0.34:
-        raise ValueError("malicious fraction must be in [0, 1/3)")
-    params = params if params is not None else TEST_PARAMS
-    num_malicious = round(fraction * num_users)
+@register_runner(AdversarialSpec.kind)
+def run_spec(spec: AdversarialSpec) -> AdversarialPoint:
+    """Deploy ``spec.fraction`` malicious stake; measure honest latency."""
+    params = spec.params if spec.params is not None else TEST_PARAMS
+    num_users, rounds = spec.num_users, spec.rounds
+    num_malicious = round(spec.fraction * num_users)
     sim = Simulation(
-        SimulationConfig(num_users=num_users, params=params, seed=seed,
-                         num_malicious=num_malicious,
+        SimulationConfig(num_users=num_users, params=params,
+                         seed=spec.seed, num_malicious=num_malicious,
                          latency_model="city"),
         malicious_class=MaliciousNode if num_malicious else None,
     )
@@ -68,7 +71,7 @@ def run_adversarial_point(fraction: float, *, num_users: int = 20,
     except NoSamplesError:
         summary = LatencySummary.empty()
     return AdversarialPoint(
-        malicious_fraction=fraction,
+        malicious_fraction=spec.fraction,
         num_malicious=num_malicious,
         summary=summary,
         agreed=agreed,
@@ -76,9 +79,33 @@ def run_adversarial_point(fraction: float, *, num_users: int = 20,
     )
 
 
+def run_adversarial_point(fraction: float, *, num_users: int = 20,
+                          rounds: int = 2, seed: int = 0,
+                          params: ProtocolParams | None = None
+                          ) -> AdversarialPoint:
+    """Deprecated keyword shim: build an :class:`AdversarialSpec`."""
+    warnings.warn(
+        "run_adversarial_point() is deprecated; build an AdversarialSpec "
+        "and call repro.experiments.run_point(spec)", DeprecationWarning,
+        stacklevel=2)
+    return run_point(AdversarialSpec(
+        fraction=fraction, num_users=num_users, rounds=rounds, seed=seed,
+        params=params,
+    )).point
+
+
 def figure8(fractions: list[float] | None = None, *, num_users: int = 20,
             seed: int = 0) -> list[AdversarialPoint]:
     """Latency vs malicious stake fraction (Figure 8 shape)."""
+    return [run_point(spec).point
+            for spec in figure8_specs(fractions, num_users=num_users,
+                                      seed=seed)]
+
+
+def figure8_specs(fractions: list[float] | None = None, *,
+                  num_users: int = 20,
+                  seed: int = 0) -> list[AdversarialSpec]:
+    """The Figure 8 grid as sweep-ready specs."""
     sweep = fractions if fractions is not None else FIGURE8_FRACTIONS
-    return [run_adversarial_point(f, num_users=num_users, seed=seed + i)
+    return [AdversarialSpec(fraction=f, num_users=num_users, seed=seed + i)
             for i, f in enumerate(sweep)]

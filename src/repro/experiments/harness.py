@@ -13,6 +13,12 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.common.encoding import encode
+from repro.common.errors import (
+    BalancesError,
+    ConfigError,
+    LatencyModelError,
+    PopulationError,
+)
 from repro.common.params import ProtocolParams, TEST_PARAMS
 from repro.crypto.backend import CachedBackend, CryptoBackend, FastBackend
 from repro.crypto.hashing import H
@@ -68,10 +74,63 @@ class SimulationConfig:
     #: keeps every msg_id forever (unbounded, pre-refactor behavior).
     seen_horizon_rounds: int | None = 2
 
+    def validate(self) -> None:
+        """Raise a typed :class:`~repro.common.errors.ConfigError` subclass
+        on any inconsistency. Invoked by :class:`Simulation` before wiring
+        anything, so misconfigurations fail fast with one clear error
+        instead of surfacing as scattered ``ValueError``\\ s (or, worse,
+        as a silently degenerate deployment)."""
+        if self.num_users < 1:
+            raise PopulationError(
+                f"num_users must be >= 1, got {self.num_users}")
+        if self.num_malicious < 0:
+            raise PopulationError(
+                f"num_malicious must be >= 0, got {self.num_malicious}")
+        if self.num_observers < 0:
+            raise PopulationError(
+                f"num_observers must be >= 0, got {self.num_observers}")
+        if self.num_malicious > self.num_users:
+            # Malicious users occupy the highest user indices; they
+            # cannot outnumber the weighted population itself.
+            raise PopulationError(
+                f"num_malicious ({self.num_malicious}) exceeds "
+                f"num_users ({self.num_users})")
+        if self.initial_balance < 0:
+            raise BalancesError(
+                f"initial_balance must be >= 0, got {self.initial_balance}")
+        if self.balances is not None:
+            if len(self.balances) != self.num_users:
+                raise BalancesError(
+                    f"balances length ({len(self.balances)}) must equal "
+                    f"num_users ({self.num_users})")
+            if any(balance < 0 for balance in self.balances):
+                raise BalancesError("balances must be non-negative")
+        if self.bandwidth_bps is not None and self.bandwidth_bps <= 0:
+            raise ConfigError(
+                f"bandwidth_bps must be positive or None, "
+                f"got {self.bandwidth_bps}")
+        if self.latency_model not in ("city", "uniform"):
+            raise LatencyModelError(
+                f"unknown latency model {self.latency_model!r} "
+                f"(expected 'city' or 'uniform')")
+        if self.uniform_latency < 0:
+            raise ConfigError(
+                f"uniform_latency must be >= 0, got {self.uniform_latency}")
+        if self.peers_per_node < 1:
+            raise ConfigError(
+                f"peers_per_node must be >= 1, got {self.peers_per_node}")
+        if (self.seen_horizon_rounds is not None
+                and self.seen_horizon_rounds < 1):
+            raise ConfigError(
+                f"seen_horizon_rounds must be >= 1 or None, "
+                f"got {self.seen_horizon_rounds}")
+
     def make_balances(self) -> list[int]:
         if self.balances is not None:
             if len(self.balances) != self.num_users:
-                raise ValueError("balances length must equal num_users")
+                raise BalancesError(
+                    f"balances length ({len(self.balances)}) must equal "
+                    f"num_users ({self.num_users})")
             return list(self.balances)
         return [self.initial_balance] * self.num_users
 
@@ -84,6 +143,7 @@ class Simulation:
                  node_class: type[Node] = Node,
                  malicious_class: type[Node] | None = None,
                  obs: TraceBus | None = None) -> None:
+        config.validate()
         self.config = config
         self.env = Environment()
         #: Optional trace bus (see :mod:`repro.obs`). When supplied, its
@@ -123,8 +183,9 @@ class Simulation:
             latency = LatencyModel(total_nodes, self.rng)
         elif config.latency_model == "uniform":
             latency = UniformLatencyModel(config.uniform_latency)
-        else:
-            raise ValueError(f"unknown latency model {config.latency_model}")
+        else:  # unreachable after validate(); guard for direct callers
+            raise LatencyModelError(
+                f"unknown latency model {config.latency_model}")
         self.network = GossipNetwork(
             self.env, total_nodes, self.rng, latency,
             peers_per_node=config.peers_per_node,
@@ -145,7 +206,7 @@ class Simulation:
             if balance > 0
         }
         if config.num_malicious and malicious_class is None:
-            raise ValueError(
+            raise ConfigError(
                 "num_malicious > 0 requires a malicious_class")
         first_malicious = config.num_users - config.num_malicious
         self.nodes: list[Node] = []

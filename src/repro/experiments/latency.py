@@ -19,12 +19,14 @@ dividing per-user bandwidth by the users-per-VM packing factor.
 from __future__ import annotations
 
 import dataclasses
+import warnings
 from dataclasses import dataclass
 
 from repro.common.errors import NoSamplesError
 from repro.common.params import ProtocolParams, TEST_PARAMS
 from repro.experiments.harness import Simulation, SimulationConfig
 from repro.experiments.metrics import LatencySummary
+from repro.experiments.spec import LatencySpec, register_runner, run_point
 
 #: Scaled-down populations standing in for the paper's 5K..50K sweep.
 FIGURE5_USERS = [40, 80, 160, 320]
@@ -49,50 +51,73 @@ def _scaling_params(base: ProtocolParams | None) -> ProtocolParams:
     return base if base is not None else TEST_PARAMS
 
 
-def run_latency_point(num_users: int, *, seed: int = 0,
-                      params: ProtocolParams | None = None,
-                      rounds: int = 2, payload_bytes: int = 0,
-                      bandwidth_bps: float | None = 20e6,
-                      measure_round: int = 2) -> LatencyPoint:
+@register_runner(LatencySpec.kind)
+def run_spec(spec: LatencySpec) -> LatencyPoint:
     """Run one deployment and summarize its round-completion latency."""
-    params = _scaling_params(params)
+    params = _scaling_params(spec.params)
     config = SimulationConfig(
-        num_users=num_users, params=params, seed=seed,
-        bandwidth_bps=bandwidth_bps, latency_model="city",
+        num_users=spec.num_users, params=params, seed=spec.seed,
+        bandwidth_bps=spec.bandwidth_bps, latency_model="city",
     )
     sim = Simulation(config)
-    if payload_bytes:
-        sim.submit_payments(min(num_users, 200),
-                            note_bytes=payload_bytes
-                            // min(num_users, 200))
-    sim.run_rounds(rounds)
-    samples = sim.round_latencies(measure_round)
+    if spec.payload_bytes:
+        senders = min(spec.num_users, 200)
+        sim.submit_payments(senders,
+                            note_bytes=spec.payload_bytes // senders)
+    sim.run_rounds(spec.rounds)
+    samples = sim.round_latencies(spec.measure_round)
     empties = sum(1 for node in sim.nodes
-                  if node.chain.block_at(measure_round).is_empty)
+                  if node.chain.block_at(spec.measure_round).is_empty)
     finals = sum(
         1 for node in sim.nodes
-        if node.metrics.round_record(measure_round) is not None
-        and node.metrics.round_record(measure_round).kind == "final")
+        if node.metrics.round_record(spec.measure_round) is not None
+        and node.metrics.round_record(spec.measure_round).kind == "final")
     try:
         summary = LatencySummary.from_samples(samples)
     except NoSamplesError:
         summary = LatencySummary.empty()
     return LatencyPoint(
-        num_users=num_users,
+        num_users=spec.num_users,
         summary=summary,
         empty_rounds=empties,
         final_rounds=finals,
-        rounds_measured=rounds,
+        rounds_measured=spec.rounds,
     )
+
+
+def run_latency_point(num_users: int, *, seed: int = 0,
+                      params: ProtocolParams | None = None,
+                      rounds: int = 2, payload_bytes: int = 0,
+                      bandwidth_bps: float | None = 20e6,
+                      measure_round: int = 2) -> LatencyPoint:
+    """Deprecated keyword shim: build a :class:`LatencySpec` instead."""
+    warnings.warn(
+        "run_latency_point() is deprecated; build a LatencySpec and call "
+        "repro.experiments.run_point(spec)", DeprecationWarning,
+        stacklevel=2)
+    return run_point(LatencySpec(
+        num_users=num_users, seed=seed, params=params, rounds=rounds,
+        payload_bytes=payload_bytes, bandwidth_bps=bandwidth_bps,
+        measure_round=measure_round,
+    )).point
 
 
 def figure5(users: list[int] | None = None, *, seed: int = 0,
             params: ProtocolParams | None = None,
             payload_bytes: int = 50_000) -> list[LatencyPoint]:
     """Latency vs number of users (Figure 5 shape)."""
+    return [run_point(spec).point
+            for spec in figure5_specs(users, seed=seed, params=params,
+                                      payload_bytes=payload_bytes)]
+
+
+def figure5_specs(users: list[int] | None = None, *, seed: int = 0,
+                  params: ProtocolParams | None = None,
+                  payload_bytes: int = 50_000) -> list[LatencySpec]:
+    """The Figure 5 grid as sweep-ready specs."""
     return [
-        run_latency_point(n, seed=seed + i, params=params,
-                          payload_bytes=payload_bytes)
+        LatencySpec(num_users=n, seed=seed + i, params=params,
+                    payload_bytes=payload_bytes)
         for i, n in enumerate(users if users is not None else FIGURE5_USERS)
     ]
 
@@ -105,14 +130,21 @@ def figure6(users: list[int] | None = None, *, seed: int = 0,
     Per-user bandwidth shrinks by the packing factor and lambda_step
     grows, mirroring the paper's configuration change.
     """
+    return [run_point(spec).point
+            for spec in figure6_specs(users, seed=seed, params=params,
+                                      packing=packing)]
+
+
+def figure6_specs(users: list[int] | None = None, *, seed: int = 0,
+                  params: ProtocolParams | None = None,
+                  packing: int = FIGURE6_PACKING) -> list[LatencySpec]:
+    """The Figure 6 contention grid as sweep-ready specs."""
     base = _scaling_params(params)
     contended = dataclasses.replace(
         base, lambda_step=base.lambda_step * 3)
     return [
-        run_latency_point(
-            n, seed=seed + i, params=contended,
-            bandwidth_bps=20e6 / packing,
-        )
+        LatencySpec(num_users=n, seed=seed + i, params=contended,
+                    bandwidth_bps=20e6 / packing)
         for i, n in enumerate(users if users is not None else FIGURE6_USERS)
     ]
 

@@ -16,6 +16,7 @@ and compares with Bitcoin (125x at 10 MByte blocks).
 from __future__ import annotations
 
 import dataclasses
+import warnings
 from dataclasses import dataclass
 
 import numpy as np
@@ -23,6 +24,11 @@ import numpy as np
 from repro.baselines.nakamoto import NakamotoConfig, throughput_bytes_per_hour
 from repro.common.params import ProtocolParams, TEST_PARAMS
 from repro.experiments.harness import Simulation, SimulationConfig
+from repro.experiments.spec import (
+    BlockSizeSpec,
+    register_runner,
+    run_point,
+)
 
 #: Scaled block-size sweep standing in for the paper's 1 KB..10 MB.
 FIGURE7_BLOCK_SIZES = [1_000, 10_000, 50_000, 100_000, 250_000]
@@ -43,22 +49,21 @@ class BlockSizePoint:
         return self.proposal_time + self.ba_time + self.final_step_time
 
 
-def run_block_size_point(block_size: int, *, num_users: int = 40,
-                         seed: int = 0,
-                         params: ProtocolParams | None = None,
-                         bandwidth_bps: float = 5e6) -> BlockSizePoint:
+@register_runner(BlockSizeSpec.kind)
+def run_spec(spec: BlockSizeSpec) -> BlockSizePoint:
     """One deployment at a given block size; segments from round 2."""
-    base = params if params is not None else TEST_PARAMS
+    base = spec.params if spec.params is not None else TEST_PARAMS
+    block_size, num_users = spec.block_size, spec.num_users
     # lambda_block must comfortably cover gossiping one block across the
     # network's diameter (the paper fixes it at a minute for 1-10 MB
     # blocks; we scale it with the per-hop transfer time).
-    per_hop = block_size * 8.0 / bandwidth_bps
+    per_hop = block_size * 8.0 / spec.bandwidth_bps
     tuned = dataclasses.replace(
         base, block_size=block_size,
         lambda_block=max(base.lambda_block, 40.0 * per_hop))
     sim = Simulation(SimulationConfig(
-        num_users=num_users, params=tuned, seed=seed,
-        bandwidth_bps=bandwidth_bps, latency_model="city",
+        num_users=num_users, params=tuned, seed=spec.seed,
+        bandwidth_bps=spec.bandwidth_bps, latency_model="city",
     ))
     # Enough payload to fill the target block size each round.
     note = max(16, (2 * block_size) // max(1, num_users * 2))
@@ -80,11 +85,35 @@ def run_block_size_point(block_size: int, *, num_users: int = 40,
     )
 
 
+def run_block_size_point(block_size: int, *, num_users: int = 40,
+                         seed: int = 0,
+                         params: ProtocolParams | None = None,
+                         bandwidth_bps: float = 5e6) -> BlockSizePoint:
+    """Deprecated keyword shim: build a :class:`BlockSizeSpec`."""
+    warnings.warn(
+        "run_block_size_point() is deprecated; build a BlockSizeSpec and "
+        "call repro.experiments.run_point(spec)", DeprecationWarning,
+        stacklevel=2)
+    return run_point(BlockSizeSpec(
+        block_size=block_size, num_users=num_users, seed=seed,
+        params=params, bandwidth_bps=bandwidth_bps,
+    )).point
+
+
 def figure7(block_sizes: list[int] | None = None, *, seed: int = 0,
             num_users: int = 40) -> list[BlockSizePoint]:
     """Latency breakdown vs block size (Figure 7 shape)."""
+    return [run_point(spec).point
+            for spec in figure7_specs(block_sizes, seed=seed,
+                                      num_users=num_users)]
+
+
+def figure7_specs(block_sizes: list[int] | None = None, *, seed: int = 0,
+                  num_users: int = 40) -> list[BlockSizeSpec]:
+    """The Figure 7 grid as sweep-ready specs."""
     sizes = block_sizes if block_sizes is not None else FIGURE7_BLOCK_SIZES
-    return [run_block_size_point(size, seed=seed + i, num_users=num_users)
+    return [BlockSizeSpec(block_size=size, seed=seed + i,
+                          num_users=num_users)
             for i, size in enumerate(sizes)]
 
 

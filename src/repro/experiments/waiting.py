@@ -17,12 +17,14 @@ latency cost above it.
 from __future__ import annotations
 
 import dataclasses
+import warnings
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.common.params import ProtocolParams, TEST_PARAMS
 from repro.experiments.harness import Simulation, SimulationConfig
+from repro.experiments.spec import WaitingSpec, register_runner, run_point
 
 #: Wait-window values (seconds) swept by the benchmark, spanning "far too
 #: short" to "comfortably padded" for the scaled WAN.
@@ -39,20 +41,18 @@ class WaitingPoint:
     rounds: int
 
 
-def run_waiting_point(wait_seconds: float, *, num_users: int = 20,
-                      rounds: int = 3, seed: int = 0,
-                      params: ProtocolParams | None = None) -> WaitingPoint:
+@register_runner(WaitingSpec.kind)
+def run_spec(spec: WaitingSpec) -> WaitingPoint:
     """Measure one wait-window setting over several rounds."""
-    if wait_seconds <= 0:
-        raise ValueError("wait_seconds must be positive")
-    base = params if params is not None else TEST_PARAMS
+    base = spec.params if spec.params is not None else TEST_PARAMS
+    num_users, rounds = spec.num_users, spec.rounds
     tuned = dataclasses.replace(
         base,
-        lambda_stepvar=wait_seconds / 2,
-        lambda_priority=wait_seconds / 2,
+        lambda_stepvar=spec.wait_seconds / 2,
+        lambda_priority=spec.wait_seconds / 2,
     )
     sim = Simulation(SimulationConfig(
-        num_users=num_users, params=tuned, seed=seed,
+        num_users=num_users, params=tuned, seed=spec.seed,
         latency_model="city",
     ))
     sim.submit_payments(num_users * 2, note_bytes=16)
@@ -67,16 +67,38 @@ def run_waiting_point(wait_seconds: float, *, num_users: int = 20,
         for record in node.metrics.rounds
     ]
     return WaitingPoint(
-        wait_seconds=wait_seconds,
+        wait_seconds=spec.wait_seconds,
         empty_fraction=empty / rounds,
         median_latency=float(np.median(latencies)),
         rounds=rounds,
     )
 
 
+def run_waiting_point(wait_seconds: float, *, num_users: int = 20,
+                      rounds: int = 3, seed: int = 0,
+                      params: ProtocolParams | None = None) -> WaitingPoint:
+    """Deprecated keyword shim: build a :class:`WaitingSpec`."""
+    warnings.warn(
+        "run_waiting_point() is deprecated; build a WaitingSpec and call "
+        "repro.experiments.run_point(spec)", DeprecationWarning,
+        stacklevel=2)
+    return run_point(WaitingSpec(
+        wait_seconds=wait_seconds, num_users=num_users, rounds=rounds,
+        seed=seed, params=params,
+    )).point
+
+
 def waiting_tradeoff(waits: list[float] | None = None, *, seed: int = 0,
                      num_users: int = 20) -> list[WaitingPoint]:
     """The full sweep (section 6 trade-off curve)."""
+    return [run_point(spec).point
+            for spec in waiting_specs(waits, seed=seed,
+                                      num_users=num_users)]
+
+
+def waiting_specs(waits: list[float] | None = None, *, seed: int = 0,
+                  num_users: int = 20) -> list[WaitingSpec]:
+    """The section 6 sweep as sweep-ready specs."""
     sweep = waits if waits is not None else WAIT_SWEEP
-    return [run_waiting_point(w, num_users=num_users, seed=seed + i)
+    return [WaitingSpec(wait_seconds=w, num_users=num_users, seed=seed + i)
             for i, w in enumerate(sweep)]

@@ -2,9 +2,12 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.experiments.__main__ import ARTIFACTS, main
+from repro.experiments.spec import ExperimentSpec
 
 
 class TestCLI:
@@ -42,3 +45,57 @@ class TestCLI:
         assert main([name]) == 0
         out = capsys.readouterr().out
         assert "committee size" in out
+
+    def test_unknown_artifact_mentions_sweep_subcommand(self, capsys):
+        assert main(["nope"]) == 2
+        assert "sweep" in capsys.readouterr().out
+
+    def test_bad_jobs_flag_rejected(self, capsys):
+        assert main(["--jobs"]) == 2
+        assert main(["--jobs", "many", "fig3"]) == 2
+
+
+class TestArtifactRegistry:
+    def test_sweep_artifacts_declare_spec_grids(self):
+        sweep_backed = {name: a for name, a in ARTIFACTS.items()
+                        if a.specs is not None}
+        assert set(sweep_backed) == {"fig5", "fig6", "fig7", "fig8",
+                                     "tab_throughput", "tab_waiting"}
+        for artifact in sweep_backed.values():
+            specs = artifact.specs()
+            assert specs and all(isinstance(s, ExperimentSpec)
+                                 for s in specs)
+            assert artifact.render is not None
+
+    def test_analytic_artifacts_have_runners(self):
+        for name, artifact in ARTIFACTS.items():
+            if artifact.specs is None:
+                assert artifact.runner is not None, name
+
+
+class TestSweepSubcommand:
+    GRID = ["--users", "6,8", "--seeds", "0", "--rounds", "1"]
+
+    def test_merged_json_to_stdout(self, capsys):
+        assert main(["sweep", *self.GRID, "--quiet"]) == 0
+        merged = json.loads(capsys.readouterr().out)
+        assert merged["engine"] == "repro.experiments.sweep"
+        assert [p["spec"]["num_users"] for p in merged["points"]] == [6, 8]
+        assert all(p["error"] is None for p in merged["points"])
+
+    def test_out_file_and_checkpoint(self, tmp_path, capsys):
+        out = tmp_path / "merged.json"
+        checkpoint = tmp_path / "points.jsonl"
+        argv = ["sweep", *self.GRID, "--quiet",
+                "--out", str(out), "--checkpoint", str(checkpoint)]
+        assert main(argv) == 0
+        first = out.read_bytes()
+        lines = checkpoint.read_text().strip().splitlines()
+        assert len(lines) == 2
+        # resume: same command recomputes nothing, output stays identical
+        assert main(argv) == 0
+        assert out.read_bytes() == first
+        assert len(checkpoint.read_text().strip().splitlines()) == 2
+
+    def test_empty_grid_rejected(self, capsys):
+        assert main(["sweep", "--seeds", "", "--quiet"]) == 2
