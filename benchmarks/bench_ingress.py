@@ -1,0 +1,259 @@
+"""E14 — ingress admission benchmark.
+
+Like E13 (``bench_runtime.py``) this measures the substrate, not a paper
+figure: the cost and the payoff of the ``repro.runtime.admission``
+ingress layer, recorded in ``BENCH_ingress.json`` at the repo root.
+
+Two claims are checked:
+
+* **Clean overhead** — on an honest workload, admission control is a
+  pure gate: the committed chains are byte-identical with the layer on
+  and off, and the extra CPU cost (per-vote dedup bookkeeping plus the
+  memoized sortition check) stays within a 5% budget. Methodology as in
+  E13: each variant in a fresh subprocess reporting process CPU time,
+  min of 2 (sequential in-process runs contaminate each other through
+  heap/GC state by more than the effect size).
+* **Flooded containment** — under a 20%-Byzantine undecidable-message
+  spam attack (``SpamVoteNode``: validly signed far-future votes, the
+  hardest traffic to refuse), the bounded buffers keep every honest
+  vote-buffer high-water mark inside its budget and the per-origin
+  flood budget gets the spammers network-quarantined, while the same
+  attack with admission off grows honest buffers well past that budget.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from conftest import print_table
+
+from repro.adversary import SpamVoteNode
+from repro.experiments.harness import Simulation, SimulationConfig
+from repro.experiments.metrics import format_table
+from repro.runtime.admission import AdmissionConfig
+
+#: Clean-overhead workload (the E13 obs-overhead workload, for direct
+#: comparability of the CPU numbers).
+NUM_USERS = 60
+ROUNDS = 3
+SEED = 11
+PAYMENTS = 60
+
+#: Flooded workload: 20% spammers, small budgets so both the eviction
+#: and the flood-quarantine paths engage within two rounds.
+FLOOD_USERS = 10
+FLOOD_MALICIOUS = 2
+FLOOD_SEED = 61
+FLOOD_ROUNDS = 2
+FLOOD_BUFFER_BUDGET = 128
+FLOOD_BUDGET_PER_ROUND = 32
+
+#: Acceptance bar: admission on a clean workload costs at most this.
+CLEAN_OVERHEAD_BUDGET = 0.05
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_ingress.json"
+SRC_PATH = Path(__file__).resolve().parent.parent / "src"
+
+_VARIANT_SCRIPT = """\
+import gc, json, sys, time
+
+mode = sys.argv[1]
+users, rounds, seed, payments = (int(x) for x in sys.argv[2:6])
+
+from repro.experiments.harness import Simulation, SimulationConfig
+
+warm = Simulation(SimulationConfig(num_users=20, seed=2))
+warm.submit_payments(10)
+warm.run_rounds(1)
+del warm
+gc.collect()
+
+start = time.process_time()
+sim = Simulation(SimulationConfig(num_users=users, seed=seed,
+                                  use_admission=(mode == "on")))
+sim.submit_payments(payments)
+sim.run_rounds(rounds)
+cpu = time.process_time() - start
+
+out = {
+    "cpu": cpu,
+    "chains_equal": sim.all_chains_equal(),
+    "chains": [sim.nodes[0].chain.block_at(r).block_hash.hex()
+               for r in range(1, rounds + 1)],
+    "simulated_seconds": round(sim.env.now, 6),
+}
+if mode == "on":
+    out["admitted"] = sum(n.admission.admitted for n in sim.nodes)
+    out["rejected"] = sum(sum(n.admission.rejected.values())
+                          for n in sim.nodes)
+    out["quarantines"] = sim.quarantine_directory.quarantines
+print(json.dumps(out))
+"""
+
+
+def _run_variant(mode: str) -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC_PATH)
+    proc = subprocess.run(
+        [sys.executable, "-c", _VARIANT_SCRIPT, mode,
+         str(NUM_USERS), str(ROUNDS), str(SEED), str(PAYMENTS)],
+        capture_output=True, text=True, env=env)
+    if proc.returncode != 0:
+        raise AssertionError(
+            f"{mode} variant subprocess failed:\n{proc.stderr}")
+    return json.loads(proc.stdout)
+
+
+def _merge_result(update: dict) -> None:
+    """Fold a test's results into BENCH_ingress.json, keeping the keys
+    that other tests in this file own."""
+    existing: dict = {}
+    if RESULT_PATH.exists():
+        try:
+            existing = json.loads(RESULT_PATH.read_text())
+        except (ValueError, OSError):
+            existing = {}
+    existing.update(update)
+    RESULT_PATH.write_text(json.dumps(existing, indent=2) + "\n")
+
+
+def test_ingress_clean_overhead(benchmark):
+    modes = ("off", "on")
+
+    def _measure():
+        runs = {mode: [] for mode in modes}
+        for _ in range(2):
+            for mode in modes:
+                runs[mode].append(_run_variant(mode))
+        return runs
+
+    runs = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    best = {mode: min(results, key=lambda r: r["cpu"])
+            for mode, results in runs.items()}
+
+    # Admission must be a pure gate for honest traffic: every run of
+    # both variants commits the exact same chain.
+    reference = best["off"]["chains"]
+    for mode in modes:
+        for run in runs[mode]:
+            assert run["chains_equal"], f"{mode}: nodes diverged"
+            assert run["chains"] == reference, f"{mode}: chain changed"
+
+    cpu_off = best["off"]["cpu"]
+    cpu_on = best["on"]["cpu"]
+    overhead = cpu_on / cpu_off - 1
+    _merge_result({
+        "clean_overhead": {
+            "workload": {
+                "num_users": NUM_USERS,
+                "rounds": ROUNDS,
+                "seed": SEED,
+                "payments": PAYMENTS,
+            },
+            "method": "process CPU time, fresh subprocess per run, "
+                      "min of 2",
+            "admission_off_cpu_seconds": round(cpu_off, 2),
+            "admission_on_cpu_seconds": round(cpu_on, 2),
+            "overhead": round(overhead, 4),
+            "overhead_budget": CLEAN_OVERHEAD_BUDGET,
+            "chains_identical": True,
+            "simulated_seconds": best["on"]["simulated_seconds"],
+            "admitted": best["on"]["admitted"],
+            "rejected": best["on"]["rejected"],
+            "quarantines": best["on"]["quarantines"],
+        },
+    })
+
+    rows = [
+        ["admission off", f"{cpu_off:.2f} cpu-s", ""],
+        ["admission on", f"{cpu_on:.2f} cpu-s",
+         f"{overhead:+.1%} (budget <={CLEAN_OVERHEAD_BUDGET:.0%})"],
+        ["admitted / rejected",
+         f"{best['on']['admitted']:,} / {best['on']['rejected']:,}",
+         f"{best['on']['quarantines']} quarantines (must be 0)"],
+        ["chains identical", "yes", "admission is a pure gate"],
+    ]
+    print_table("Ingress admission: clean overhead, 60 users x 3 rounds",
+                format_table(["metric", "value", "note"], rows))
+
+    assert best["on"]["quarantines"] == 0, "honest peer quarantined"
+    assert overhead <= CLEAN_OVERHEAD_BUDGET, (
+        f"admission overhead {overhead:+.1%} exceeds "
+        f"{CLEAN_OVERHEAD_BUDGET:.0%} budget")
+
+
+def _flooded_run(use_admission: bool) -> Simulation:
+    admission = (AdmissionConfig(
+        vote_buffer_budget=FLOOD_BUFFER_BUDGET,
+        flood_budget_per_round=FLOOD_BUDGET_PER_ROUND)
+        if use_admission else None)
+    sim = Simulation(
+        SimulationConfig(num_users=FLOOD_USERS, seed=FLOOD_SEED,
+                         num_malicious=FLOOD_MALICIOUS,
+                         use_admission=use_admission,
+                         admission=admission),
+        malicious_class=SpamVoteNode)
+    processes = [node.start(FLOOD_ROUNDS) for node in sim.nodes]
+    honest = processes[:FLOOD_USERS - FLOOD_MALICIOUS]
+    sim.env.run(until=900.0, stop_when=lambda: all(p.done for p in honest))
+    assert all(p.done for p in honest), "honest nodes failed to commit"
+    return sim
+
+
+def test_ingress_flood_containment(benchmark):
+    with_adm, without = benchmark.pedantic(
+        lambda: (_flooded_run(True), _flooded_run(False)),
+        rounds=1, iterations=1)
+
+    honest = slice(0, FLOOD_USERS - FLOOD_MALICIOUS)
+    high_on = max(n.buffer.high_water for n in with_adm.nodes[honest])
+    high_off = max(n.buffer.high_water for n in without.nodes[honest])
+    rejected: dict[str, int] = {}
+    for node in with_adm.nodes[honest]:
+        for reason, count in node.admission.rejected.items():
+            rejected[reason] = rejected.get(reason, 0) + count
+    quarantines = with_adm.quarantine_directory.quarantines
+
+    _merge_result({
+        "flooded": {
+            "workload": {
+                "num_users": FLOOD_USERS,
+                "num_malicious": FLOOD_MALICIOUS,
+                "attack": "SpamVoteNode (signed far-future votes)",
+                "rounds": FLOOD_ROUNDS,
+                "seed": FLOOD_SEED,
+                "vote_buffer_budget": FLOOD_BUFFER_BUDGET,
+                "flood_budget_per_round": FLOOD_BUDGET_PER_ROUND,
+            },
+            "honest_buffer_high_water_admission_on": high_on,
+            "honest_buffer_high_water_admission_off": high_off,
+            "containment_factor": round(high_off / high_on, 2),
+            "rejected": dict(sorted(rejected.items())),
+            "quarantines": quarantines,
+            "messages_delivered_admission_on":
+                with_adm.network.messages_delivered,
+            "messages_delivered_admission_off":
+                without.network.messages_delivered,
+        },
+    })
+
+    rows = [
+        ["buffer high-water (on)", str(high_on),
+         f"budget {FLOOD_BUFFER_BUDGET}"],
+        ["buffer high-water (off)", str(high_off), "unbounded growth"],
+        ["spam rejected", str(rejected.get("flood", 0)),
+         f"per-origin budget {FLOOD_BUDGET_PER_ROUND}/round"],
+        ["quarantines", str(quarantines), "spammers cut off"],
+    ]
+    print_table("Ingress admission: flooded containment, 20% spammers",
+                format_table(["metric", "value", "note"], rows))
+
+    assert high_on <= FLOOD_BUFFER_BUDGET, "honest buffer over budget"
+    assert high_off > FLOOD_BUFFER_BUDGET, (
+        "attack too weak to demonstrate containment")
+    assert quarantines >= 1, "no spammer was quarantined"
+    assert rejected.get("flood", 0) > 0, "flood budget never engaged"

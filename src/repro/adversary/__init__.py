@@ -9,15 +9,19 @@ from repro.adversary.network_control import (
 from repro.adversary.strategies import (
     DoubleVotingNode,
     EquivocatingProposerNode,
+    FloodingNode,
     MaliciousNode,
     SilentNode,
+    SpamVoteNode,
 )
 
 __all__ = [
     "EquivocatingProposerNode",
     "DoubleVotingNode",
+    "FloodingNode",
     "MaliciousNode",
     "SilentNode",
+    "SpamVoteNode",
     "FilterChain",
     "Partitioner",
     "TargetedDoS",

@@ -101,6 +101,84 @@ class MaliciousNode(DoubleVotingNode, EquivocatingProposerNode):
     """The full section 10.4 adversary: equivocate + double-vote."""
 
 
+class FloodingNode(Node):
+    """Sprays invalid-signature votes at the network (link-level DoS).
+
+    The junk is cheap to make and cheap to reject — the point is volume:
+    without admission control every copy is relayed network-wide and
+    buffered forever; with it, each neighbor rejects the votes at
+    ingress (never relaying them), scores this node, and eventually
+    quarantines it. Otherwise behaves honestly, so the attack isolates
+    the flooding dimension. The flood loop is counter-based (no RNG), so
+    runs stay deterministic.
+    """
+
+    flood_batch = 48
+    flood_interval = 0.5
+
+    def start(self, target_height: int):
+        self.env.process(self._flood_loop(), f"flood-{self.index}")
+        return super().start(target_height)
+
+    def _flood_loop(self):
+        counter = 0
+        while True:
+            yield self.env.timeout(self.flood_interval)
+            if self.crashed or self.interface.disconnected:
+                continue
+            for _ in range(self.flood_batch):
+                counter += 1
+                junk = H(b"flood", self.keypair.public, counter.to_bytes(8, "big"))
+                vote = VoteMessage(
+                    voter=self.keypair.public,
+                    round_number=self.chain.next_round,
+                    step="reduction_one",
+                    sorthash=junk, sortproof=junk,
+                    prev_hash=self.chain.tip_hash,
+                    value=junk, signature=junk[:32],
+                )
+                self.interface.broadcast(
+                    vote_envelope(self.keypair.public, vote))
+
+
+class SpamVoteNode(Node):
+    """Floods validly *signed* votes for far-future rounds.
+
+    The "undecidable messages" DoS of PAPERS.md: each vote carries a real
+    signature but claims a round no receiver can validate yet, so it
+    passes signature checks and must be buffered on the off-chance it
+    becomes relevant. Bounded vote buffers with future-first eviction
+    plus the per-origin flood budget are the countermeasures this node
+    exists to exercise.
+    """
+
+    spam_batch = 16
+    spam_interval = 0.5
+    spam_horizon = 100
+
+    def start(self, target_height: int):
+        self.env.process(self._spam_loop(), f"spam-{self.index}")
+        return super().start(target_height)
+
+    def _spam_loop(self):
+        counter = 0
+        while True:
+            yield self.env.timeout(self.spam_interval)
+            if self.crashed or self.interface.disconnected:
+                continue
+            for _ in range(self.spam_batch):
+                counter += 1
+                junk = H(b"spam", self.keypair.public,
+                         counter.to_bytes(8, "big"))
+                vote = make_vote(
+                    self.backend, self.keypair.secret, self.keypair.public,
+                    self.chain.next_round + self.spam_horizon + counter,
+                    "reduction_one", junk, junk, self.chain.tip_hash, junk,
+                )
+                self.interface.broadcast(
+                    vote_envelope(self.keypair.public, vote))
+
+
 class SilentNode(Node):
     """A fail-stop node: never proposes, never votes (offline stake).
 

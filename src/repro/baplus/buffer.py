@@ -5,6 +5,16 @@ A background handler stores every received vote indexed by
 bucket while concurrently waiting for more messages via the bucket's
 signal. Buckets are kept until explicitly pruned so that certificates can
 be assembled from past steps and passive observers can recount votes.
+
+The buffer can be bounded (``budget_messages``): past the budget an
+incoming vote must displace a buffered one or be rejected. Eviction is
+by *round proximity* — the paper's "undecidable messages" (future-round
+and recovery votes that cannot be validated yet, the buffering DoS
+vector of PAPERS.md) are the first to go, and votes at or below the
+``anchor_round`` being decided right now are never evicted. Because
+:meth:`messages` hands out live list references that step processes
+iterate by index, eviction only ever pops from the *tail* of a
+strictly-future bucket and never deletes bucket dict entries.
 """
 
 from __future__ import annotations
@@ -20,17 +30,60 @@ _Key = tuple[int, str]
 class VoteBuffer:
     """Votes indexed by ``(round, step)`` plus arrival signals."""
 
-    def __init__(self, env: Environment) -> None:
+    def __init__(self, env: Environment,
+                 budget_messages: int | None = None) -> None:
         self._env = env
         self._buckets: dict[_Key, list[VoteMessage]] = defaultdict(list)
         self._signals: dict[_Key, Signal] = {}
+        #: Maximum buffered votes across all buckets (None = unbounded).
+        self.budget_messages = budget_messages
+        #: Rounds at or below this are protected from eviction (the
+        #: round currently being decided; set by the node's round loop).
+        self.anchor_round = 0
+        self._size = 0
+        self.high_water = 0
+        self.evicted = 0
+        self.rejected = 0
 
-    def add(self, vote: VoteMessage) -> None:
+    def __len__(self) -> int:
+        return self._size
+
+    def add(self, vote: VoteMessage) -> bool:
+        """Buffer ``vote``; False if the budget forced a rejection."""
         key = (vote.round_number, vote.step)
+        budget = self.budget_messages
+        if budget is not None and self._size >= budget:
+            if not self._evict_for(key):
+                self.rejected += 1
+                return False
         self._buckets[key].append(vote)
+        self._size += 1
+        if self._size > self.high_water:
+            self.high_water = self._size
         signal = self._signals.get(key)
         if signal is not None:
             signal.pulse()
+        return True
+
+    def _evict_for(self, incoming_key: _Key) -> bool:
+        """Make room for ``incoming_key`` by dropping a far-future vote.
+
+        The victim is the tail of the furthest-future non-empty bucket
+        above the anchor. If the incoming vote is itself at or beyond
+        that furthest bucket (and not anchored), it is the worst
+        candidate and the caller rejects it instead.
+        """
+        candidates = [key for key, bucket in self._buckets.items()
+                      if bucket and key[0] > self.anchor_round]
+        if not candidates:
+            return False
+        victim = max(candidates)
+        if incoming_key[0] > self.anchor_round and incoming_key >= victim:
+            return False
+        self._buckets[victim].pop()
+        self._size -= 1
+        self.evicted += 1
+        return True
 
     def messages(self, round_number: int, step: str) -> list[VoteMessage]:
         """The current bucket (live list — callers index, don't mutate)."""
@@ -49,10 +102,20 @@ class VoteBuffer:
         """Drop every bucket and signal (a crashed node's volatile state)."""
         self._buckets.clear()
         self._signals.clear()
+        self._size = 0
 
     def prune_before(self, round_number: int) -> None:
         """Drop buckets for rounds strictly below ``round_number``."""
         stale = [key for key in self._buckets if key[0] < round_number]
         for key in stale:
+            self._size -= len(self._buckets[key])
+            del self._buckets[key]
+            self._signals.pop(key, None)
+
+    def prune_at_or_above(self, round_number: int) -> None:
+        """Drop buckets for rounds >= ``round_number`` (recovery cleanup)."""
+        stale = [key for key in self._buckets if key[0] >= round_number]
+        for key in stale:
+            self._size -= len(self._buckets[key])
             del self._buckets[key]
             self._signals.pop(key, None)

@@ -11,10 +11,12 @@ manual.
 
 from repro.chaos.faults import FaultInjector, ShaperChain
 from repro.chaos.generate import generate_scenario
-from repro.chaos.monitor import InvariantMonitor, Violation, audit_chains
+from repro.chaos.monitor import (InvariantMonitor, Violation, audit_chains,
+                                 audit_ingress)
 from repro.chaos.runner import ChaosVerdict, run_scenario
 from repro.chaos.scenario import (FAULT_KINDS, FaultAction, ScenarioError,
-                                  ScenarioScript, partition_heal_scenario)
+                                  ScenarioScript, flood_recovery_scenario,
+                                  partition_heal_scenario)
 
 __all__ = [
     "FAULT_KINDS",
@@ -27,6 +29,8 @@ __all__ = [
     "ShaperChain",
     "Violation",
     "audit_chains",
+    "audit_ingress",
+    "flood_recovery_scenario",
     "generate_scenario",
     "partition_heal_scenario",
     "run_scenario",

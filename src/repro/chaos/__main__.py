@@ -27,14 +27,21 @@ from pathlib import Path
 
 from repro.chaos.generate import generate_scenario
 from repro.chaos.runner import ChaosVerdict, run_scenario
-from repro.chaos.scenario import ScenarioScript, partition_heal_scenario
+from repro.chaos.scenario import (
+    ScenarioScript,
+    flood_recovery_scenario,
+    partition_heal_scenario,
+)
 
-_BUILTINS = ("partition-heal",)
+_BUILTINS = ("partition-heal", "flood")
 
 
 def _load_builtin(name: str, args: argparse.Namespace) -> ScenarioScript:
     if name == "partition-heal":
         return partition_heal_scenario(num_users=args.users or 16,
+                                       seed=args.base_seed)
+    if name == "flood":
+        return flood_recovery_scenario(num_users=args.users or 15,
                                        seed=args.base_seed)
     raise SystemExit(f"unknown builtin {name!r} (have: {_BUILTINS})")
 

@@ -20,9 +20,11 @@ from __future__ import annotations
 import numpy as np
 
 from repro.adversary.network_control import FilterChain, Partitioner
+from repro.baplus.messages import VoteMessage, make_vote
 from repro.chaos.scenario import FaultAction, ScenarioScript
+from repro.crypto.hashing import H
 from repro.network.gossip import GossipNetwork
-from repro.network.message import Envelope
+from repro.network.message import Envelope, vote_envelope
 from repro.node.catchup import resync_from_peers
 
 #: Seed-sequence spice mixed with the scenario seed for fault RNG.
@@ -204,6 +206,16 @@ class FaultInjector:
             assert action.end is not None
             env.schedule(action.end, release)
             return
+        if action.kind in ("flood", "spam"):
+            env.schedule(action.start,
+                         lambda a=action: self._emit("fault_applied", a))
+            assert action.end is not None  # validated
+            env.schedule(action.end,
+                         lambda a=action: self._emit("fault_cleared", a))
+            for target in action.nodes:
+                env.process(self._attack_loop(action, target),
+                            f"{action.kind}-{target}")
+            return
         if action.kind == "crash":
             victims = [self.sim.nodes[node] for node in action.nodes]
 
@@ -223,3 +235,47 @@ class FaultInjector:
                 env.schedule(action.end, restart)
             return
         raise AssertionError(f"unreachable fault kind {action.kind!r}")
+
+    def _attack_loop(self, action: FaultAction, target: int):
+        """Broadcast ``rate`` junk votes per second from ``target``.
+
+        ``flood`` sends invalid-signature votes at the attacker's own
+        current round; ``spam`` sends validly signed votes for rounds no
+        receiver can validate yet (the undecidable-message DoS). Both
+        loops are counter-based — no RNG — so a scenario stays
+        byte-reproducible.
+        """
+        env = self.sim.env
+        node = self.sim.nodes[target]
+        batch = max(1, int(action.rate))
+        tag = b"flood" if action.kind == "flood" else b"spam"
+        counter = 0
+        if action.start > env.now:
+            yield env.timeout(action.start - env.now)
+        assert action.end is not None  # validated
+        while env.now < action.end:
+            if not node.crashed and not node.interface.disconnected:
+                for _ in range(batch):
+                    counter += 1
+                    junk = H(tag, node.keypair.public,
+                             counter.to_bytes(8, "big"))
+                    if action.kind == "flood":
+                        vote = VoteMessage(
+                            voter=node.keypair.public,
+                            round_number=node.chain.next_round,
+                            step="reduction_one",
+                            sorthash=junk, sortproof=junk,
+                            prev_hash=node.chain.tip_hash,
+                            value=junk, signature=junk[:32],
+                        )
+                    else:
+                        vote = make_vote(
+                            node.backend, node.keypair.secret,
+                            node.keypair.public,
+                            node.chain.next_round + 100 + counter,
+                            "reduction_one", junk, junk,
+                            node.chain.tip_hash, junk,
+                        )
+                    node.interface.broadcast(
+                        vote_envelope(node.keypair.public, vote))
+            yield env.timeout(1.0)

@@ -212,3 +212,38 @@ def audit_chains(nodes, *, backend, now: float,
                                 f"certificate certifies a different "
                                 f"block")))
     return violations
+
+
+def audit_ingress(nodes, network, *, now: float,
+                  skip: frozenset[int] = frozenset()) -> list[Violation]:
+    """Post-run bounded-buffer audit: high-water marks within budgets.
+
+    Under admission control every honest node's vote buffer and every
+    honest egress lane must have stayed inside its configured budget for
+    the whole run — a high-water mark above budget means the bound was
+    enforced too late (or not at all) and a flood grew state without
+    limit. ``skip`` names the attacker nodes (their own buffers are not
+    part of the robustness claim) plus permanently crashed ones.
+    """
+    violations: list[Violation] = []
+    for node in nodes:
+        if node.index in skip:
+            continue
+        budget = getattr(node.buffer, "budget_messages", None)
+        high_water = getattr(node.buffer, "high_water", 0)
+        if budget is not None and high_water > budget:
+            violations.append(Violation(
+                invariant="ingress-bounds", t=now,
+                detail=(f"node {node.index}: vote-buffer high water "
+                        f"{high_water} exceeded budget {budget}")))
+    for index, interface in enumerate(network.interfaces):
+        if index in skip:
+            continue
+        lane_budget = getattr(interface, "lane_budget", None)
+        lane_high = getattr(interface, "egress_high_water", 0)
+        if lane_budget is not None and lane_high > lane_budget:
+            violations.append(Violation(
+                invariant="ingress-bounds", t=now,
+                detail=(f"node {index}: egress-lane high water "
+                        f"{lane_high} exceeded budget {lane_budget}")))
+    return violations

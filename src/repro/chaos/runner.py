@@ -20,7 +20,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.chaos.faults import FaultInjector
-from repro.chaos.monitor import InvariantMonitor, Violation, audit_chains
+from repro.chaos.monitor import (
+    InvariantMonitor,
+    Violation,
+    audit_chains,
+    audit_ingress,
+)
 from repro.chaos.scenario import ScenarioScript
 from repro.experiments.harness import Simulation, SimulationConfig
 from repro.obs.bus import TraceBus
@@ -105,6 +110,13 @@ def run_scenario(script: ScenarioScript, *,
     violations.extend(monitor.finish(now))
     violations.extend(audit_chains(sim.nodes, backend=sim.backend,
                                    now=now, skip=skip))
+    if sim.quarantine_directory is not None:
+        # Bounded-buffer invariant: honest high-water marks must have
+        # stayed inside their budgets (attackers audit nothing — their
+        # buffers are not part of the robustness claim).
+        violations.extend(audit_ingress(
+            sim.nodes, sim.network, now=now,
+            skip=skip | script.attacker_nodes()))
     laggards = [node.index for node in survivors
                 if node.chain.height < script.rounds]
     converged = not laggards

@@ -29,6 +29,15 @@ Fault vocabulary (the ``kind`` field):
     ``end=None`` crashes them for good.
 ``dos``
     Disconnect ``nodes`` (targeted denial of service) until ``end``.
+``flood``
+    ``nodes`` broadcast ``rate`` invalid-signature votes per simulated
+    second until ``end`` (link-level junk; admission control rejects it
+    at ingress and quarantines the senders).
+``spam``
+    ``nodes`` broadcast ``rate`` validly signed far-future votes per
+    simulated second until ``end`` (the "undecidable messages" DoS:
+    signature checks pass, so only bounded buffers with future-first
+    eviction and per-origin flood budgets contain it).
 
 For link faults (``delay``/``loss``/``duplicate``/``reorder``), an empty
 ``nodes`` tuple means *all* links; otherwise only links whose source or
@@ -47,7 +56,12 @@ from repro.common.errors import ReproError
 
 #: Every fault kind the injector knows how to compile.
 FAULT_KINDS = ("partition", "delay", "loss", "duplicate", "reorder",
-               "crash", "dos")
+               "crash", "dos", "flood", "spam")
+
+#: Kinds where the target nodes are attackers, not victims: the runner
+#: excludes them from liveness/convergence accounting and from the
+#: ingress-bounds audit.
+ATTACKER_FAULTS = frozenset({"flood", "spam"})
 
 #: Kinds expressed through the gossip ``link_shaper`` hook.
 LINK_FAULTS = frozenset({"delay", "loss", "duplicate", "reorder"})
@@ -109,6 +123,12 @@ class FaultAction:
                     seen.add(node)
         if self.kind in ("crash", "dos") and not self.nodes:
             raise ScenarioError(f"{self.kind}: needs at least one node")
+        if self.kind in ("flood", "spam"):
+            if not self.nodes:
+                raise ScenarioError(f"{self.kind}: needs at least one node")
+            if self.rate <= 0:
+                raise ScenarioError(
+                    f"{self.kind}: rate (votes per second) must be positive")
         if self.kind in ("loss", "duplicate") and not 0 < self.rate <= 1:
             raise ScenarioError(f"{self.kind}: rate must be in (0, 1]")
         if self.kind == "delay" and self.extra_delay <= 0:
@@ -194,6 +214,14 @@ class ScenarioScript:
                 gone.update(action.nodes)
         return frozenset(gone)
 
+    def attacker_nodes(self) -> frozenset[int]:
+        """Nodes that run flood/spam attacks (excluded from audits)."""
+        attackers: set[int] = set()
+        for action in self.actions:
+            if action.kind in ATTACKER_FAULTS:
+                attackers.update(action.nodes)
+        return frozenset(attackers)
+
     # -- serialization -------------------------------------------------
 
     def to_dict(self) -> dict:
@@ -258,4 +286,34 @@ def partition_heal_scenario(*, num_users: int = 16, seed: int = 31,
                         groups=(tuple(range(half)),
                                 tuple(range(half, num_users)))),
         ),
+    )
+
+
+def flood_recovery_scenario(*, num_users: int = 15, seed: int = 47,
+                            start: float = 0.0,
+                            end: float = 40.0) -> ScenarioScript:
+    """The ingress smoke scenario: 20% of peers flood, honest peers cope.
+
+    The last fifth of the deployment attacks from ``start`` to ``end``:
+    most spray invalid-signature votes (cheap junk), the final one sends
+    validly signed far-future votes (the undecidable-message DoS). The
+    verdict must show honest vote buffers and egress lanes inside their
+    budgets throughout (the ``ingress-bounds`` audit), no safety
+    violation, and rounds still committing after the flood stops.
+    """
+    attackers = max(2, num_users // 5)
+    first = num_users - attackers
+    actions = [
+        FaultAction(kind="flood", start=start, end=end, nodes=(node,),
+                    rate=60.0)
+        for node in range(first, num_users - 1)
+    ]
+    actions.append(FaultAction(kind="spam", start=start, end=end,
+                               nodes=(num_users - 1,), rate=400.0))
+    return ScenarioScript(
+        name="flood-recovery",
+        seed=seed,
+        num_users=num_users,
+        rounds=3,
+        actions=tuple(actions),
     )

@@ -29,6 +29,11 @@ from repro.network.latency import LatencyModel, UniformLatencyModel
 from repro.node.agent import Node
 from repro.node.registry import BlockRegistry
 from repro.obs.bus import TraceBus
+from repro.runtime.admission import (
+    AdmissionConfig,
+    QuarantineDirectory,
+    attach_admission,
+)
 from repro.runtime.cache import VerificationCache
 from repro.sim.loop import Environment
 from repro.sortition.selection import SELECTION_STATS
@@ -73,6 +78,15 @@ class SimulationConfig:
     #: Rounds of gossip duplicate-suppression memory per node; ``None``
     #: keeps every msg_id forever (unbounded, pre-refactor behavior).
     seen_horizon_rounds: int | None = 2
+    #: Install the :mod:`repro.runtime.admission` ingress layer on every
+    #: node: sortition-gated vote admission, bounded vote buffers and
+    #: egress lanes, peer health scoring, and a network quarantine
+    #: directory. On honest deployments the committed chain is
+    #: byte-identical with this on or off. ``False`` reproduces the
+    #: pre-admission wiring exactly.
+    use_admission: bool = True
+    #: Budgets/weights for the admission layer (defaults when ``None``).
+    admission: "AdmissionConfig | None" = None
 
     def validate(self) -> None:
         """Raise a typed :class:`~repro.common.errors.ConfigError` subclass
@@ -124,6 +138,8 @@ class SimulationConfig:
             raise ConfigError(
                 f"seen_horizon_rounds must be >= 1 or None, "
                 f"got {self.seen_horizon_rounds}")
+        if self.admission is not None:
+            self.admission.validate()
 
     def make_balances(self) -> list[int]:
         if self.balances is not None:
@@ -186,11 +202,15 @@ class Simulation:
         else:  # unreachable after validate(); guard for direct callers
             raise LatencyModelError(
                 f"unknown latency model {config.latency_model}")
+        admission_cfg = ((config.admission or AdmissionConfig())
+                         if config.use_admission else None)
         self.network = GossipNetwork(
             self.env, total_nodes, self.rng, latency,
             peers_per_node=config.peers_per_node,
             bandwidth_bps=config.bandwidth_bps,
             seen_horizon_rounds=config.seen_horizon_rounds,
+            lane_budget_msgs=(admission_cfg.egress_lane_budget
+                              if admission_cfg is not None else None),
             obs=obs,
         )
 
@@ -222,8 +242,23 @@ class Simulation:
                 registry=self.registry, obs=obs,
             )
             self.nodes.append(node)
+
+        #: Network-wide quarantine state (None when admission is off).
+        self.quarantine_directory: QuarantineDirectory | None = None
+        if admission_cfg is not None:
+            index_of = {kp.public: i
+                        for i, kp in enumerate(self.keypairs)}
+            self.quarantine_directory = QuarantineDirectory(
+                self.network, admission_cfg, obs=obs)
+            for node in self.nodes:
+                attach_admission(node, admission_cfg,
+                                 directory=self.quarantine_directory,
+                                 index_of=index_of)
+
         def on_commit(round_number: int) -> None:
             self.network.end_round()
+            if self.quarantine_directory is not None:
+                self.quarantine_directory.end_round(round_number)
             if config.reshuffle_peers_each_round:
                 self.network.reshuffle_peers()
 
@@ -369,6 +404,33 @@ class Simulation:
             node.router.unknown_kinds for node in self.nodes))
         for name, value in self._selection_delta.items():
             metrics.set_counter("sortition." + name, value)
+        if self.quarantine_directory is not None:
+            admissions = [node.admission for node in self.nodes
+                          if node.admission is not None]
+            metrics.set_counter("admission.admitted", sum(
+                admission.admitted for admission in admissions))
+            rejected: dict[str, int] = {}
+            for admission in admissions:
+                for reason, count in admission.rejected.items():
+                    rejected[reason] = rejected.get(reason, 0) + count
+            for reason, count in sorted(rejected.items()):
+                metrics.set_counter("admission.rejected." + reason, count)
+            metrics.set_gauge("admission.buffer_high_water", max(
+                node.buffer.high_water for node in self.nodes))
+            metrics.set_counter("admission.buffer_evicted", sum(
+                node.buffer.evicted for node in self.nodes))
+            metrics.set_counter("admission.buffer_rejected", sum(
+                node.buffer.rejected for node in self.nodes))
+            metrics.set_counter("admission.egress_dropped", sum(
+                interface.egress_dropped
+                for interface in self.network.interfaces))
+            metrics.set_gauge("admission.egress_high_water", max(
+                interface.egress_high_water
+                for interface in self.network.interfaces))
+            metrics.set_gauge("admission.quarantined_peers",
+                              len(self.quarantine_directory.quarantined))
+            metrics.set_counter("admission.quarantines",
+                                self.quarantine_directory.quarantines)
 
     def summary(self) -> dict:
         """One dict with every runtime counter an experiment may report.
@@ -393,6 +455,29 @@ class Simulation:
         }
         if self.verification_cache is not None:
             result["verification_cache"] = self.verification_cache.stats()
+        if self.quarantine_directory is not None:
+            admissions = [node.admission for node in self.nodes
+                          if node.admission is not None]
+            rejected: dict[str, int] = {}
+            for admission in admissions:
+                for reason, count in admission.rejected.items():
+                    rejected[reason] = rejected.get(reason, 0) + count
+            result["admission"] = {
+                "admitted": sum(a.admitted for a in admissions),
+                "rejected": rejected,
+                "buffer_high_water": max(node.buffer.high_water
+                                         for node in self.nodes),
+                "buffer_evicted": sum(node.buffer.evicted
+                                      for node in self.nodes),
+                "egress_dropped": sum(i.egress_dropped
+                                      for i in self.network.interfaces),
+                "egress_high_water": max(i.egress_high_water
+                                         for i in self.network.interfaces),
+                "quarantined": sorted(
+                    self.quarantine_directory.quarantined),
+                "banned": sorted(self.quarantine_directory.banned),
+                "quarantines": self.quarantine_directory.quarantines,
+            }
         if self.obs is not None:
             result["obs"] = self.obs.snapshot()
         return result

@@ -49,6 +49,9 @@ DropFilter = Callable[[int, int, Envelope], bool]
 #: msg_id, so receivers dedup them exactly like real gossip duplicates).
 LinkShaper = Callable[[int, int, Envelope, float], list[float]]
 RelayPolicy = Callable[[Envelope], bool]
+#: (envelope, from_index) -> admit? Runs after duplicate suppression and
+#: before the inbox/relay (see :mod:`repro.runtime.admission`).
+IngressPolicy = Callable[[Envelope, int], bool]
 
 #: Messages at or below this size use the urgent egress lane (votes,
 #: priority announcements, transactions) and never wait behind blocks.
@@ -75,9 +78,19 @@ class NetworkInterface:
         #: Protocol-layer validation: called before relaying a received
         #: message; return False to accept locally but not forward.
         self.relay_policy: RelayPolicy = lambda envelope: True
+        #: Optional admission gate (:mod:`repro.runtime.admission`):
+        #: called with ``(envelope, from_index)`` after duplicate
+        #: suppression; returning False drops the message before the
+        #: inbox, the relay policy, and any forwarding.
+        self.ingress: IngressPolicy | None = None
         self.disconnected = False
         self.bytes_sent = 0
         self.messages_sent = 0
+        #: Per-lane egress budget in messages (tail-drop past it);
+        #: ``None`` is unbounded (the pre-admission behavior).
+        self.lane_budget: int | None = network.lane_budget_msgs
+        self.egress_dropped = 0
+        self.egress_high_water = 0
         # Two egress lanes: small control messages (votes, priorities)
         # must not queue behind bulk block transfers — they ride separate
         # TCP connections in the paper's prototype.
@@ -108,13 +121,34 @@ class NetworkInterface:
             if target not in self.neighbors:
                 raise NetworkError(f"{target} is not a neighbor of "
                                    f"{self.index}")
-            lane.append((envelope, target))
+            self._enqueue(lane, envelope, target)
         self._egress_signal.pulse()
 
     def _lane_for(self, envelope: Envelope) -> deque[tuple[Envelope, int]]:
         if envelope.size <= URGENT_MESSAGE_BYTES:
             return self._egress_urgent
         return self._egress_bulk
+
+    def _enqueue(self, lane: deque[tuple[Envelope, int]],
+                 envelope: Envelope, target: int) -> None:
+        """Queue one egress item, tail-dropping past the lane budget.
+
+        Backpressure for the gossip fabric: a node whose uplink cannot
+        keep up (e.g. one being used as a flood amplifier) sheds the
+        *newest* traffic instead of growing the queue without bound.
+        High-water marks are per-lane and audited by the chaos engine's
+        ingress-bounds invariant.
+        """
+        budget = self.lane_budget
+        if budget is not None and len(lane) >= budget:
+            self.egress_dropped += 1
+            if self._metrics is not None:
+                self._metrics.inc("gossip.egress_dropped")
+            return
+        lane.append((envelope, target))
+        depth = len(lane)
+        if depth > self.egress_high_water:
+            self.egress_high_water = depth
 
     def _send_to_neighbors(self, envelope: Envelope,
                            exclude: int | None) -> None:
@@ -123,7 +157,7 @@ class NetworkInterface:
         lane = self._lane_for(envelope)
         for neighbor in self.neighbors:
             if neighbor != exclude:
-                lane.append((envelope, neighbor))
+                self._enqueue(lane, envelope, neighbor)
         self._egress_signal.pulse()
 
     def _egress_loop(self):
@@ -185,6 +219,18 @@ class NetworkInterface:
             if metrics is not None and not self.disconnected:
                 metrics.inc("gossip.dup_dropped")
             return
+        ingress = self.ingress
+        if ingress is not None and not ingress(envelope, from_index):
+            # Rejected at admission: never buffered, routed, or relayed.
+            # The msg_id deliberately does NOT enter ``_seen``: a vote
+            # whose first copy arrives via a quarantined relayer must
+            # stay eligible on its other gossip paths, or blocking one
+            # bad neighbor would suppress honest traffic it happened to
+            # deliver first (verification stays cheap — the crypto cache
+            # memoizes the repeated checks).
+            if metrics is not None:
+                metrics.inc("gossip.ingress_rejected")
+            return
         self._seen.add(envelope.msg_id)
         self.inbox.append(envelope)
         self.receive_signal.pulse()
@@ -230,6 +276,7 @@ class GossipNetwork:
                  peers_per_node: int = 4,
                  bandwidth_bps: float | None = 20e6,
                  seen_horizon_rounds: int | None = 2,
+                 lane_budget_msgs: int | None = None,
                  obs: "TraceBus | None" = None) -> None:
         if num_nodes < 2:
             raise NetworkError("gossip network needs at least 2 nodes")
@@ -250,9 +297,14 @@ class GossipNetwork:
         #: Rounds of duplicate-suppression memory each node keeps; ``None``
         #: disables pruning (the pre-refactor unbounded behavior).
         self.seen_horizon_rounds = seen_horizon_rounds
+        #: Per-lane egress budget copied onto each interface at creation.
+        self.lane_budget_msgs = lane_budget_msgs
         self.drop_filter: DropFilter | None = None
         self.link_shaper: LinkShaper | None = None
         self.messages_delivered = 0
+        #: Nodes currently severed from the topology (peer quarantine);
+        #: maintained by :meth:`set_quarantined`.
+        self.quarantined: frozenset[int] = frozenset()
         self.interfaces = [NetworkInterface(self, i)
                            for i in range(num_nodes)]
         self.reshuffle_peers()
@@ -262,19 +314,65 @@ class GossipNetwork:
         return len(self.interfaces)
 
     def reshuffle_peers(self) -> None:
-        """(Re)build the random peer graph (paper: new peers each round)."""
+        """(Re)build the random peer graph (paper: new peers each round).
+
+        Quarantined nodes are excluded from both directions of the new
+        neighbor map: they neither draw peers nor get drawn. With no
+        quarantine in force the RNG consumption is exactly the original
+        path, so enabling the quarantine machinery never perturbs an
+        honest deployment's random choices.
+        """
         n = self.num_nodes
         adjacency: list[set[int]] = [set() for _ in range(n)]
-        k = min(self.peers_per_node, n - 1)
-        for node in range(n):
-            peers = self.rng.choice(n - 1, size=k, replace=False)
-            for peer in peers:
-                # Map [0, n-2] onto all indices except `node`.
-                target = int(peer) + (1 if peer >= node else 0)
-                adjacency[node].add(target)
-                adjacency[target].add(node)
+        if not self.quarantined:
+            k = min(self.peers_per_node, n - 1)
+            for node in range(n):
+                peers = self.rng.choice(n - 1, size=k, replace=False)
+                for peer in peers:
+                    # Map [0, n-2] onto all indices except `node`.
+                    target = int(peer) + (1 if peer >= node else 0)
+                    adjacency[node].add(target)
+                    adjacency[target].add(node)
+        else:
+            eligible = [i for i in range(n) if i not in self.quarantined]
+            m = len(eligible)
+            k = min(self.peers_per_node, m - 1)
+            if k >= 1:
+                for position, node in enumerate(eligible):
+                    peers = self.rng.choice(m - 1, size=k, replace=False)
+                    for peer in peers:
+                        # Map [0, m-2] onto eligible positions != position.
+                        target_position = int(peer) + (1 if peer >= position
+                                                       else 0)
+                        target = eligible[target_position]
+                        adjacency[node].add(target)
+                        adjacency[target].add(node)
         for node in range(n):
             self.interfaces[node].neighbors = sorted(adjacency[node])
+
+    def set_quarantined(self, indices) -> None:
+        """Update the severed-node set and repair the topology.
+
+        Newly quarantined nodes are cut out of the *current* graph in
+        place (both directions — no reshuffle, no RNG consumption);
+        releases rebuild the graph so freed peers rejoin symmetrically.
+        """
+        quarantined = frozenset(indices)
+        if quarantined == self.quarantined:
+            return
+        released = self.quarantined - quarantined
+        added = quarantined - self.quarantined
+        self.quarantined = quarantined
+        if released:
+            self.reshuffle_peers()
+            return
+        for node in added:
+            interface = self.interfaces[node]
+            for neighbor in interface.neighbors:
+                peers = self.interfaces[neighbor].neighbors
+                if node in peers:
+                    peers.remove(node)
+            interface.neighbors = []
 
     def _transmit(self, src: int, dst: int, envelope: Envelope) -> None:
         if self.drop_filter is not None and self.drop_filter(src, dst,

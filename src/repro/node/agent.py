@@ -95,6 +95,15 @@ class Node:
         #: Optional :class:`repro.obs.TraceBus`; ``None`` keeps every
         #: instrumentation site at a single attribute check.
         self.obs = obs
+        #: Optional :class:`repro.runtime.admission.AdmissionControl`
+        #: installed by :func:`repro.runtime.admission.attach_admission`;
+        #: the round loop notifies it at each commit so its per-round
+        #: state and peer-health decay stay in step.
+        self.admission = None
+        # Single-slot memo for _current_context: vote admission asks for
+        # the same round's context once per delivered envelope, and the
+        # weight-table rebuild dominates that path.
+        self._ctx_memo: tuple[tuple[int, int, bytes], BAContext] | None = None
         self.participant = BAParticipant(
             env=env, params=params, backend=backend, buffer=self.buffer,
             keypair=keypair, gossip_vote=self._gossip_vote,
@@ -249,6 +258,9 @@ class Node:
         self._seen_votes.clear()
         self._seen_priorities.clear()
         self.fork_monitor.clear()
+        self._ctx_memo = None
+        if self.admission is not None:
+            self.admission.reset()
         if self.obs is not None:
             self.obs.emit("node_crashed", node=self.index,
                           round=self.chain.next_round)
@@ -285,11 +297,16 @@ class Node:
         return self._trackers[round_number]
 
     def _current_context(self, round_number: int) -> BAContext:
-        return BAContext.from_weights(
+        memo_key = (round_number, self.chain.height, self.chain.tip_hash)
+        if self._ctx_memo is not None and self._ctx_memo[0] == memo_key:
+            return self._ctx_memo[1]
+        ctx = BAContext.from_weights(
             seed=self.chain.selection_seed(round_number),
             weights=self._sortition_weights(round_number),
             last_block_hash=self.chain.tip_hash,
         )
+        self._ctx_memo = (memo_key, ctx)
+        return ctx
 
     def _sortition_weights(self, round_number: int) -> dict[bytes, int]:
         """Weight table for sortition at ``round_number`` (section 5.3).
@@ -351,6 +368,7 @@ class Node:
     def run_one_round(self):
         """Execute one full round; generator driven by the event loop."""
         round_number = self.chain.next_round
+        self.buffer.anchor_round = round_number
         start = self.env.now
         obs = self.obs
         if obs is not None:
@@ -605,3 +623,5 @@ class Node:
                             if key[1] >= horizon}
         self._seen_priorities = {key for key in self._seen_priorities
                                  if key[1] >= horizon}
+        if self.admission is not None:
+            self.admission.end_round(completed_round)

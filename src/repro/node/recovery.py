@@ -166,6 +166,10 @@ class RecoverySession:
         for attempt in range(max_attempts):
             ctx = self._recovery_ctx(attempt)
             recovery_round = RECOVERY_ROUND_BASE + attempt
+            # Regular block processing is stopped during recovery
+            # (section 8.2): protect the active recovery round's votes
+            # from the bounded buffer's future-first eviction.
+            node.buffer.anchor_round = recovery_round
             self._propose_if_selected(attempt, ctx)
             # Wait for fork proposals to spread (blocks are bulky).
             yield node.env.timeout(node.params.lambda_priority
@@ -191,6 +195,11 @@ class RecoverySession:
 
     def _adopt(self, proposal: ForkProposal) -> None:
         node = self.node
+        if node.admission is not None:
+            # The rounds re-run after adoption are new executions; stale
+            # vote-dedup state would misread honest re-votes as
+            # equivocation (see AdmissionControl.on_chain_adopted).
+            node.admission.on_chain_adopted()
         if proposal.tip_hash == node.chain.tip_hash:
             node.halted = False
             return
@@ -199,6 +208,13 @@ class RecoverySession:
 
     def close(self) -> None:
         self.node.router.unregister("fork")
+        # Recovery votes live at RECOVERY_ROUND_BASE + attempt, far above
+        # any real round, so normal-round watermarks passed to
+        # ``prune_before`` never remove them — drop them here or every
+        # concluded recovery leaks its vote buckets forever.
+        self.node.buffer.prune_at_or_above(RECOVERY_ROUND_BASE)
+        if self.node.admission is not None:
+            self.node.admission.on_chain_adopted()
 
 
 def run_recovery(nodes: list[Node], pre_fork_round: int,

@@ -210,6 +210,25 @@ def render_report(events: list[dict], snapshot: dict | None) -> str:
                          f"{batch['count']} drains",
                          f"mean {batch['mean']:.1f} msgs "
                          f"(max {batch['max']:.0f})"])
+        if "admission.admitted" in counters:
+            rejected = sum(value for name, value in counters.items()
+                           if name.startswith("admission.rejected."))
+            rows.append(["admission",
+                         f"{counters.get('admission.admitted', 0)} admitted "
+                         f"/ {rejected} rejected",
+                         f"{counters.get('admission.quarantines', 0)} "
+                         f"quarantines "
+                         f"({gauges.get('admission.quarantined_peers', 0)} "
+                         f"peers held at end)"])
+            rows.append(["ingress buffers",
+                         f"vote high-water "
+                         f"{gauges.get('admission.buffer_high_water', 0)} / "
+                         f"egress high-water "
+                         f"{gauges.get('admission.egress_high_water', 0)}",
+                         f"{counters.get('admission.buffer_evicted', 0)} "
+                         f"evicted / "
+                         f"{counters.get('admission.egress_dropped', 0)} "
+                         f"lane-dropped"])
         sections.append(_table(["subsystem", "volume", "detail"], rows))
 
     return "\n".join(sections)

@@ -2,18 +2,33 @@
 
 This package is the small runtime layer under the Algorand node: a
 :class:`MessageRouter` that subsystems register gossip handlers with
-(replacing hard-coded dispatch chains), and a :class:`VerificationCache`
+(replacing hard-coded dispatch chains), a :class:`VerificationCache`
 that memoizes context-independent crypto checks across every node of a
 simulation (the paper's section 10.1 observation that verification
-dominates CPU, applied to the simulator itself). The cache is wired
-through :class:`repro.crypto.backend.CachedBackend`, which works over
-both the real Ed25519 backend and the fast simulation backend.
+dominates CPU, applied to the simulator itself), and an
+:class:`AdmissionControl` ingress layer that gates every delivered
+envelope on sortition proofs, duplicate/equivocation checks, and peer
+health before the router sees it. The cache is wired through
+:class:`repro.crypto.backend.CachedBackend`, which works over both the
+real Ed25519 backend and the fast simulation backend.
 """
 
+from repro.runtime.admission import (
+    AdmissionConfig,
+    AdmissionControl,
+    PeerHealth,
+    QuarantineDirectory,
+    attach_admission,
+)
 from repro.runtime.cache import VerificationCache
 from repro.runtime.router import MessageRouter
 
 __all__ = [
+    "AdmissionConfig",
+    "AdmissionControl",
     "MessageRouter",
+    "PeerHealth",
+    "QuarantineDirectory",
     "VerificationCache",
+    "attach_admission",
 ]

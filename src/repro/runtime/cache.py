@@ -31,9 +31,10 @@ from __future__ import annotations
 from itertools import islice
 from typing import Any
 
-#: Key-namespace tags: one cache holds both kinds of check.
+#: Key-namespace tags: one cache holds every kind of check.
 _SIG = 0
 _VRF = 1
+_SORT = 2
 
 
 class VerificationCache:
@@ -47,7 +48,7 @@ class VerificationCache:
     """
 
     __slots__ = ("_entries", "max_entries", "hits", "misses",
-                 "negative_hits", "counts")
+                 "negative_hits", "sort_hits", "sort_misses", "counts")
 
     def __init__(self, max_entries: int = 1 << 18,
                  counts: Any = None) -> None:
@@ -57,6 +58,13 @@ class VerificationCache:
         self.max_entries = max_entries
         self.hits = 0
         self.misses = 0
+        #: Sortition-verdict memo traffic, counted apart from the
+        #: signature/VRF hits: a sortition miss runs ``verify_sort``,
+        #: whose inner VRF check is *itself* cached, so folding it into
+        #: ``misses`` would break the "every miss reached the inner
+        #: backend" accounting invariant.
+        self.sort_hits = 0
+        self.sort_misses = 0
         #: Hits that replayed a memoized *failure* (forged signature /
         #: bad VRF proof seen before) — the adversarial-flood share of
         #: the cache's work, reported separately in trace snapshots.
@@ -98,6 +106,8 @@ class VerificationCache:
             "hits": self.hits,
             "misses": self.misses,
             "negative_hits": self.negative_hits,
+            "sort_hits": self.sort_hits,
+            "sort_misses": self.sort_misses,
             "hit_rate": self.hit_rate,
             "entries": len(self._entries),
         }
@@ -142,3 +152,30 @@ class VerificationCache:
             raise
         self._entries[key] = (None, beta)
         return beta
+
+    def memo_sortition(self, compute, public: bytes, vrf_hash: bytes,
+                       vrf_proof: bytes, seed: bytes, tau: float,
+                       role: bytes, weight: int, total_weight: int) -> int:
+        """Memoized sortition verdict (``verify_sort``'s sub-user count).
+
+        The full verification context — seed, role, tau, and the weight
+        pair — is part of the key, so the verdict is context-independent
+        in exactly the sense the module docstring requires: every node
+        holding the same chain state computes the same inputs, and one
+        CDF walk serves all of them. ``compute`` is a thunk running the
+        real :func:`repro.sortition.selection.verify_sort`.
+        """
+        key = (_SORT, public, vrf_hash, vrf_proof, seed, tau, role,
+               weight, total_weight)
+        entry = self._entries.get(key)
+        if entry is not None:
+            self.sort_hits += 1
+            return entry[0]
+        self.sort_misses += 1
+        if len(self._entries) >= self.max_entries:
+            drop = max(1, len(self._entries) // 4)
+            for stale in list(islice(iter(self._entries), drop)):
+                del self._entries[stale]
+        j = int(compute())
+        self._entries[key] = (j,)
+        return j

@@ -76,6 +76,9 @@ class MessageRouter:
         if metrics is not None:
             metrics.inc("router.dispatch." + envelope.kind)
         relay = handler(envelope.payload)
-        if relay and metrics is not None:
-            metrics.inc("router.relayed." + envelope.kind)
+        if metrics is not None:
+            if relay:
+                metrics.inc("router.relayed." + envelope.kind)
+            else:
+                metrics.inc("router.denied." + envelope.kind)
         return relay

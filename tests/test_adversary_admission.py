@@ -1,0 +1,124 @@
+"""Ingress robustness under live Byzantine attack (seeded, deterministic).
+
+A 20%-Byzantine deployment — flooders, undecidable-message spammers, or
+the paper's section 10.4 equivocate-and-double-vote adversary — must not
+stop the honest majority: blocks keep committing, every honest buffer
+stays inside its budget, and the admission layer's quarantine machinery
+identifies exactly the attackers, never an honest peer.
+"""
+
+from __future__ import annotations
+
+from repro.adversary import FloodingNode, MaliciousNode, SpamVoteNode
+from repro.experiments.harness import Simulation, SimulationConfig
+from repro.runtime.admission import AdmissionConfig
+
+ROUNDS = 2
+
+
+def _run_attack(malicious_class, *, num_users=10, num_malicious=2, seed=61,
+                admission=None):
+    """Run a Byzantine sim until every honest node commits ROUNDS."""
+    sim = Simulation(
+        SimulationConfig(num_users=num_users, seed=seed,
+                         num_malicious=num_malicious, admission=admission),
+        malicious_class=malicious_class)
+    processes = [node.start(ROUNDS) for node in sim.nodes]
+    honest = processes[:num_users - num_malicious]
+    sim.env.run(until=900.0, stop_when=lambda: all(p.done for p in honest))
+    assert all(p.done for p in honest), "honest nodes failed to commit"
+    return sim
+
+
+def _assert_honest_progress(sim):
+    honest = sim.nodes[:sim.config.num_users - sim.config.num_malicious]
+    for node in honest:
+        assert node.chain.height >= ROUNDS
+    for round_number in range(1, ROUNDS + 1):
+        assert len(sim.agreed_hashes(round_number)) == 1
+    budget = sim.nodes[0].buffer.budget_messages
+    for node in honest:
+        assert node.buffer.high_water <= budget
+    for node in honest:
+        lane_budget = sim.network.interfaces[node.index].lane_budget
+        assert (sim.network.interfaces[node.index].egress_high_water
+                <= lane_budget)
+
+
+def _assert_only_attackers_blamed(sim):
+    num_honest = sim.config.num_users - sim.config.num_malicious
+    attackers = set(range(num_honest, sim.config.num_users))
+    served = set(sim.quarantine_directory._served)
+    assert served, "no attacker was ever network-quarantined"
+    assert served <= attackers, f"honest nodes quarantined: {served}"
+    for node in sim.nodes[:num_honest]:
+        locally_blocked = set(node.admission.health.quarantined_until)
+        assert locally_blocked <= attackers, (
+            f"node {node.index} blocked honest peers: "
+            f"{locally_blocked - attackers}")
+
+
+class TestFloodingQuarantine:
+    def test_flooders_quarantined_network_commits(self):
+        """Invalid-signature flooders (20% of peers) are cut off and the
+        honest majority keeps committing."""
+        sim = _run_attack(FloodingNode)
+        _assert_honest_progress(sim)
+        _assert_only_attackers_blamed(sim)
+        # Both flooders were caught, not just one.
+        assert set(sim.quarantine_directory._served) == {8, 9}
+        # Their junk was rejected pre-relay: honest nodes never forwarded
+        # a single invalid-signature vote.
+        total_rejections = sum(
+            node.admission.rejected.get("invalid_signature", 0)
+            for node in sim.nodes[:8])
+        assert total_rejections > 0
+
+    def test_flood_run_is_deterministic(self):
+        def fingerprint():
+            sim = _run_attack(FloodingNode)
+            return ([node.chain.tip_hash for node in sim.nodes[:8]],
+                    sorted(sim.quarantine_directory._served.items()))
+
+        assert fingerprint() == fingerprint()
+
+
+class TestSpamQuarantine:
+    def test_spammers_exceed_flood_budget_and_are_cut(self):
+        """Validly signed far-future votes pass every signature check;
+        the per-origin flood budget is what catches the sender."""
+        sim = _run_attack(
+            SpamVoteNode,
+            admission=AdmissionConfig(flood_budget_per_round=32))
+        _assert_honest_progress(sim)
+        _assert_only_attackers_blamed(sim)
+        assert sim.quarantine_directory.quarantines >= 1
+        flood_rejections = sum(
+            node.admission.rejected.get("flood", 0)
+            for node in sim.nodes[:8])
+        assert flood_rejections > 0
+
+
+class TestMaliciousQuarantine:
+    def test_double_voters_quarantined_by_evidence(self):
+        """The section 10.4 adversary's conflicting votes are
+        self-certifying evidence: the origin is scored, quarantined, and
+        the chain never forks."""
+        sim = _run_attack(MaliciousNode, num_users=15, num_malicious=3,
+                          seed=67)
+        honest = sim.nodes[:12]
+        for node in honest:
+            assert node.chain.height >= ROUNDS
+        for round_number in range(1, ROUNDS + 1):
+            assert len(sim.agreed_hashes(round_number)) == 1
+        attackers = {12, 13, 14}
+        attacker_keys = {sim.keypairs[index].public for index in attackers}
+        evidence = [item
+                    for node in honest
+                    for item in node.admission.evidence]
+        assert evidence, "no double-vote evidence was recorded"
+        # Every receipt is self-certifying and names an actual attacker.
+        assert {item.offender for item in evidence} <= attacker_keys
+        # Local blocks (if any) must only ever name the attackers.
+        for node in honest:
+            assert set(node.admission.health.quarantined_until) <= attackers

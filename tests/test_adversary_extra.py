@@ -109,8 +109,12 @@ class TestStrategyMechanics:
         assert len(sim.registry) == before + 2  # two versions registered
 
     def test_double_voter_emits_conflict(self):
+        # This test hand-crafts a vote with a fake sortition proof to
+        # exercise the strategy mechanics; admission would (correctly)
+        # reject it at ingress, so run the pre-admission wiring.
         sim = Simulation(
-            SimulationConfig(num_users=12, seed=14, num_malicious=12),
+            SimulationConfig(num_users=12, seed=14, num_malicious=12,
+                             use_admission=False),
             malicious_class=DoubleVotingNode)
         node = sim.nodes[0]
         from repro.baplus.messages import make_vote

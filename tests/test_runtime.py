@@ -151,6 +151,7 @@ class TestVerificationCache:
     def test_stats_shape(self):
         cache = VerificationCache()
         assert cache.stats() == {"hits": 0, "misses": 0, "negative_hits": 0,
+                                 "sort_hits": 0, "sort_misses": 0,
                                  "hit_rate": 0.0, "entries": 0}
 
     def test_max_entries_validated(self):
