@@ -28,8 +28,15 @@ class BAContext:
         if self.total_weight <= 0:
             raise SortitionError("total weight must be positive")
         # Freeze the mapping so a shared dict cannot drift mid-round.
-        object.__setattr__(self, "weights",
-                           MappingProxyType(dict(self.weights)))
+        # Already-immutable mappings (the ledger's shared weight
+        # snapshots, ArrayWeights views) are adopted as-is: re-copying
+        # a 10k-account table per node per round is exactly the scaling
+        # cost the shared snapshots exist to remove.
+        weights = self.weights
+        if not (isinstance(weights, MappingProxyType)
+                or getattr(weights, "frozen", False)):
+            object.__setattr__(self, "weights",
+                               MappingProxyType(dict(weights)))
 
     def weight_of(self, public: bytes) -> int:
         return self.weights.get(public, 0)
@@ -37,6 +44,10 @@ class BAContext:
     @classmethod
     def from_weights(cls, seed: bytes, weights: Mapping[bytes, int],
                      last_block_hash: bytes) -> "BAContext":
-        return cls(seed=seed, weights=weights,
-                   total_weight=sum(weights.values()),
+        # ArrayWeights precomputes the total; summing a large lazy view
+        # in python would defeat the array representation.
+        total = getattr(weights, "total", None)
+        if total is None:
+            total = sum(weights.values())
+        return cls(seed=seed, weights=weights, total_weight=total,
                    last_block_hash=last_block_hash)

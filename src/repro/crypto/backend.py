@@ -82,6 +82,16 @@ class CryptoBackend(ABC):
             return False
         return True
 
+    def vrf_output(self, secret: bytes, alpha: bytes) -> bytes:
+        """The VRF hash alone, without the proof.
+
+        The stake pool's selection screen only needs the pseudorandom
+        output for every candidate; proofs are produced (via
+        :meth:`vrf_prove`) only for the few accounts that win. Backends
+        whose proof costs extra work override this.
+        """
+        return self.vrf_prove(secret, alpha)[0]
+
 
 class Ed25519Backend(CryptoBackend):
     """Real crypto: Ed25519 signatures and ECVRF-EDWARDS25519-SHA512-TAI."""
@@ -153,6 +163,9 @@ class FastBackend(CryptoBackend):
         proof = sha512(b"fast-vrf-proof", secret, alpha)
         return beta, proof
 
+    def vrf_output(self, secret: bytes, alpha: bytes) -> bytes:
+        return sha512(b"fast-vrf", secret, alpha)
+
     def vrf_verify(self, public: bytes, proof: bytes, alpha: bytes) -> bytes:
         secret = self._secret_for(public)
         beta, expected = self.vrf_prove(secret, alpha)
@@ -191,6 +204,9 @@ class CachedBackend(CryptoBackend):
 
     def vrf_prove(self, secret: bytes, alpha: bytes) -> tuple[bytes, bytes]:
         return self.inner.vrf_prove(secret, alpha)
+
+    def vrf_output(self, secret: bytes, alpha: bytes) -> bytes:
+        return self.inner.vrf_output(secret, alpha)
 
     def vrf_verify(self, public: bytes, proof: bytes, alpha: bytes) -> bytes:
         return self.cache.vrf_verify(self.inner, public, proof, alpha)

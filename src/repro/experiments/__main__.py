@@ -345,7 +345,10 @@ def build_grid(args: argparse.Namespace) -> list[ExperimentSpec]:
             specs.extend(LatencySpec(
                 num_users=n, seed=seed, rounds=rounds,
                 payload_bytes=args.payload_bytes,
-                measure_round=rounds) for n in args.users)
+                measure_round=rounds,
+                population=args.population,
+                always_on_core=args.core,
+                steps_ahead=args.steps_ahead) for n in args.users)
         elif args.grid == "adversarial":
             specs.extend(AdversarialSpec(
                 fraction=f, num_users=args.users[0], seed=seed,
@@ -384,6 +387,17 @@ def sweep_main(argv: list[str]) -> int:
                         help="wait-window axis (waiting grid)")
     parser.add_argument("--rounds", type=int, default=0,
                         help="rounds per point (0 = grid default)")
+    parser.add_argument("--population", default="full",
+                        choices=["full", "aggregated"],
+                        help="latency grid: agent representation "
+                             "(aggregated = stake pool + materialized "
+                             "sortition winners; reaches 10k+ users)")
+    parser.add_argument("--core", type=int, default=16,
+                        help="aggregated population: always-on agents")
+    parser.add_argument("--steps-ahead", type=int, default=4,
+                        dest="steps_ahead",
+                        help="aggregated population: BinaryBA* steps "
+                             "covered by the per-round pool pass")
     parser.add_argument("--payload-bytes", type=int, default=0)
     parser.add_argument("--jobs", type=int, default=1,
                         help="worker processes (1 = in-process serial)")

@@ -27,10 +27,12 @@ from repro.ledger.transaction import make_transaction
 from repro.network.gossip import GossipNetwork
 from repro.network.latency import LatencyModel, UniformLatencyModel
 from repro.node.agent import Node
+from repro.node.population import Population
 from repro.node.registry import BlockRegistry
 from repro.obs.bus import TraceBus
 from repro.runtime.admission import (
     AdmissionConfig,
+    BatchVerifier,
     QuarantineDirectory,
     attach_admission,
 )
@@ -87,6 +89,39 @@ class SimulationConfig:
     use_admission: bool = True
     #: Budgets/weights for the admission layer (defaults when ``None``).
     admission: "AdmissionConfig | None" = None
+    #: Population representation. ``"full"`` (classic) builds every user
+    #: as a live agent for the whole run. ``"aggregated"`` holds
+    #: non-participants as a weighted stake pool
+    #: (:class:`repro.node.population.Population`): array-backed
+    #: balances keyed by stable account index, full agents only for the
+    #: always-on core plus each round's sortition winners, materialized
+    #: at round boundaries and retired after their round. Honest-only
+    #: (``num_malicious == 0``, ``num_observers == 0``). With
+    #: ``always_on_core >= num_users`` the aggregated run commits chains
+    #: byte-identical to ``"full"``; with a smaller core the proposer
+    #: sequence and seed chain still match the full run exactly (they
+    #: are VRF-determined) while block timestamps may shift with the
+    #: thinner relay fabric.
+    population: str = "full"
+    #: Aggregated mode: how many always-on full agents (lowest indices).
+    always_on_core: int = 16
+    #: Aggregated mode: BinaryBA* steps covered by the per-round pool
+    #: pass (4 covers the honest clean path incl. next-three steering).
+    steps_ahead: int = 4
+    #: Batch signature verification per delivery drain: one pass over a
+    #: same-instant delivery group's vote signatures primes the shared
+    #: verification cache before the group's envelopes are processed.
+    #: Pure cache effect — committed chains are unaffected. ``"auto"``
+    #: enables it exactly for aggregated populations (whose drains are
+    #: large enough to pay off); explicit ``True`` requires
+    #: ``use_verification_cache``.
+    batch_verify: bool | str = "auto"
+
+    def batch_verify_enabled(self) -> bool:
+        if self.batch_verify == "auto":
+            return (self.population == "aggregated"
+                    and self.use_verification_cache)
+        return bool(self.batch_verify)
 
     def validate(self) -> None:
         """Raise a typed :class:`~repro.common.errors.ConfigError` subclass
@@ -140,6 +175,34 @@ class SimulationConfig:
                 f"got {self.seen_horizon_rounds}")
         if self.admission is not None:
             self.admission.validate()
+        if self.population not in ("full", "aggregated"):
+            raise PopulationError(
+                f"unknown population mode {self.population!r} "
+                f"(expected 'full' or 'aggregated')")
+        if self.population == "aggregated":
+            if self.num_malicious:
+                raise PopulationError(
+                    "aggregated population is honest-only: dormant stake "
+                    "cannot model Byzantine agents (use population='full')")
+            if self.num_observers:
+                raise PopulationError(
+                    "aggregated population does not support observers "
+                    "(use population='full')")
+            if self.always_on_core < 1:
+                raise PopulationError(
+                    f"always_on_core must be >= 1, "
+                    f"got {self.always_on_core}")
+            if self.steps_ahead < 1:
+                raise PopulationError(
+                    f"steps_ahead must be >= 1, got {self.steps_ahead}")
+        if self.batch_verify not in (True, False, "auto"):
+            raise ConfigError(
+                f"batch_verify must be True, False, or 'auto', "
+                f"got {self.batch_verify!r}")
+        if self.batch_verify is True and not self.use_verification_cache:
+            raise ConfigError(
+                "batch_verify=True requires use_verification_cache "
+                "(priming writes into the shared cache)")
 
     def make_balances(self) -> list[int]:
         if self.balances is not None:
@@ -204,6 +267,13 @@ class Simulation:
                 f"unknown latency model {config.latency_model}")
         admission_cfg = ((config.admission or AdmissionConfig())
                          if config.use_admission else None)
+        aggregated = config.population == "aggregated"
+        core_size = min(config.always_on_core, config.num_users)
+        # When the core covers everyone there is no dormant stake; the
+        # classic (active=None) construction path keeps the aggregated
+        # deployment on the exact same RNG/event sequence as "full" —
+        # the basis of the byte-identical equivalence suite.
+        dormant = aggregated and core_size < config.num_users
         self.network = GossipNetwork(
             self.env, total_nodes, self.rng, latency,
             peers_per_node=config.peers_per_node,
@@ -212,6 +282,7 @@ class Simulation:
             lane_budget_msgs=(admission_cfg.egress_lane_budget
                               if admission_cfg is not None else None),
             obs=obs,
+            active_indices=list(range(core_size)) if dormant else None,
         )
 
         # Observers get keys but zero stake (appended after the users).
@@ -229,31 +300,30 @@ class Simulation:
             raise ConfigError(
                 "num_malicious > 0 requires a malicious_class")
         first_malicious = config.num_users - config.num_malicious
-        self.nodes: list[Node] = []
-        for i in range(total_nodes):
-            chain = Blockchain(initial_balances, self.genesis_seed,
-                               config.params.seed_refresh_interval)
-            is_malicious = first_malicious <= i < config.num_users
-            cls = malicious_class if is_malicious else node_class
-            node = cls(
-                index=i, env=self.env, keypair=self.keypairs[i],
-                backend=self.backend, params=config.params, chain=chain,
-                interface=self.network.interfaces[i],
-                registry=self.registry, obs=obs,
-            )
-            self.nodes.append(node)
 
         #: Network-wide quarantine state (None when admission is off).
         self.quarantine_directory: QuarantineDirectory | None = None
+        attach: "callable | None" = None
         if admission_cfg is not None:
             index_of = {kp.public: i
                         for i, kp in enumerate(self.keypairs)}
             self.quarantine_directory = QuarantineDirectory(
                 self.network, admission_cfg, obs=obs)
-            for node in self.nodes:
+
+            def attach(node: Node) -> None:
                 attach_admission(node, admission_cfg,
                                  directory=self.quarantine_directory,
                                  index_of=index_of)
+
+        if config.batch_verify_enabled():
+            # The verifier primes with the *inner* backend: a cache miss
+            # must do real work exactly once, not recurse into the
+            # CachedBackend wrapper it is warming.
+            self.batch_verifier: BatchVerifier | None = BatchVerifier(
+                inner_backend, self.verification_cache)
+            self.network.batch_verifier = self.batch_verifier
+        else:
+            self.batch_verifier = None
 
         def on_commit(round_number: int) -> None:
             self.network.end_round()
@@ -262,7 +332,38 @@ class Simulation:
             if config.reshuffle_peers_each_round:
                 self.network.reshuffle_peers()
 
-        self.nodes[0].on_commit = on_commit
+        #: Aggregated stake pool (None in classic full-agent mode).
+        self.population: Population | None = None
+        if aggregated:
+            self.population = Population(
+                env=self.env, backend=self.backend, params=config.params,
+                network=self.network, registry=self.registry,
+                keypairs=self.keypairs, balances=balances,
+                genesis_seed=self.genesis_seed, core_size=core_size,
+                steps_ahead=config.steps_ahead, node_class=node_class,
+                obs=obs, attach_admission=attach, round_hook=on_commit,
+            )
+            #: In aggregated mode ``nodes`` is the always-on core; the
+            #: per-round transients live in ``population.live``.
+            self.nodes: list[Node] = list(self.population.core_nodes)
+        else:
+            self.nodes = []
+            for i in range(total_nodes):
+                chain = Blockchain(initial_balances, self.genesis_seed,
+                                   config.params.seed_refresh_interval)
+                is_malicious = first_malicious <= i < config.num_users
+                cls = malicious_class if is_malicious else node_class
+                node = cls(
+                    index=i, env=self.env, keypair=self.keypairs[i],
+                    backend=self.backend, params=config.params,
+                    chain=chain, interface=self.network.interfaces[i],
+                    registry=self.registry, obs=obs,
+                )
+                self.nodes.append(node)
+            if attach is not None:
+                for node in self.nodes:
+                    attach(node)
+            self.nodes[0].on_commit = on_commit
 
     @property
     def observers(self) -> list[Node]:
@@ -280,7 +381,12 @@ class Simulation:
         payment is gossiped from its sender's node.
         """
         nonces: dict[int, int] = {}
-        weighted = self.config.num_users  # observers neither pay nor earn
+        # Observers neither pay nor earn; in aggregated mode payments
+        # circulate among the always-on core (the only agents guaranteed
+        # live to sign and gossip at injection time — dormant stake
+        # still votes with its balance, it just doesn't transact).
+        weighted = (len(self.nodes) if self.population is not None
+                    else self.config.num_users)
         if weighted < 2:
             return  # a lone user has nobody to pay (no self-payments)
         for k in range(count):
@@ -306,8 +412,16 @@ class Simulation:
 
     def run_rounds(self, rounds: int, time_limit: float | None = None,
                    max_events: int | None = None) -> None:
-        """Start every node and run until all reach ``rounds`` blocks."""
-        processes = [node.start(rounds) for node in self.nodes]
+        """Start every node and run until all reach ``rounds`` blocks.
+
+        Aggregated mode starts (and awaits) the always-on core; the
+        population materializes and retires transient winners on its
+        own at round boundaries.
+        """
+        if self.population is not None:
+            processes = self.population.start(rounds)
+        else:
+            processes = [node.start(rounds) for node in self.nodes]
         # O(1) stop check: scanning every process per event dominated the
         # loop at hundreds of nodes. Done-callbacks fire synchronously
         # inside the finishing event, so the counter is always current.
@@ -331,6 +445,21 @@ class Simulation:
                      stop_when=lambda: pending == 0)
         self._selection_delta = SELECTION_STATS.delta_since(
             self._selection_baseline)
+        if self.population is not None:
+            # A round that runs deeper than steps_ahead has dormant
+            # later-step committees; the core then exhausts MaxSteps and
+            # halts. Surface that loudly instead of returning a short
+            # chain (full mode keeps its silent-halt semantics — the
+            # weak-synchrony and recovery suites depend on them).
+            stalled = [node.index for node in self.nodes
+                       if node.halted and node.chain.height < rounds]
+            if stalled:
+                raise TimeoutError(
+                    f"aggregated run stalled: core nodes {stalled[:5]} "
+                    f"halted below round {rounds} — a round ran deeper "
+                    f"than steps_ahead={self.config.steps_ahead}, whose "
+                    f"later committees are dormant; raise steps_ahead "
+                    f"(or the committee sizes) and rerun")
         unfinished = [node.index for node, process in zip(self.nodes,
                                                           processes)
                       if not process.done]
@@ -399,7 +528,11 @@ class Simulation:
             metrics.set_counter("cache.hits", cache.hits)
             metrics.set_counter("cache.misses", cache.misses)
             metrics.set_counter("cache.negative_hits", cache.negative_hits)
+            metrics.set_counter("cache.batch_primed", cache.batch_primed)
             metrics.set_gauge("cache.entries", len(cache))
+        if self.population is not None:
+            for name, value in self.population.stats().items():
+                metrics.set_gauge("population." + name, value)
         metrics.set_counter("router.unknown_kind", sum(
             node.router.unknown_kinds for node in self.nodes))
         for name, value in self._selection_delta.items():
@@ -455,6 +588,13 @@ class Simulation:
         }
         if self.verification_cache is not None:
             result["verification_cache"] = self.verification_cache.stats()
+        if self.population is not None:
+            result["population"] = self.population.stats()
+        if self.batch_verifier is not None:
+            result["batch_verify"] = {
+                "groups": self.batch_verifier.groups,
+                "votes_primed": self.batch_verifier.votes_primed,
+            }
         if self.quarantine_directory is not None:
             admissions = [node.admission for node in self.nodes
                           if node.admission is not None]

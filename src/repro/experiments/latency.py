@@ -58,6 +58,8 @@ def run_spec(spec: LatencySpec) -> LatencyPoint:
     config = SimulationConfig(
         num_users=spec.num_users, params=params, seed=spec.seed,
         bandwidth_bps=spec.bandwidth_bps, latency_model="city",
+        population=spec.population, always_on_core=spec.always_on_core,
+        steps_ahead=spec.steps_ahead,
     )
     sim = Simulation(config)
     if spec.payload_bytes:

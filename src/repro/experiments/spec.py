@@ -183,10 +183,26 @@ class LatencySpec(ExperimentSpec):
     payload_bytes: int = 0
     bandwidth_bps: float | None = 20e6
     measure_round: int = 2
+    #: "full" or "aggregated" — see SimulationConfig.population. The
+    #: aggregated stake pool is what lets the latency axis reach the
+    #: paper's population scales (Figure 5) on one machine.
+    population: str = "full"
+    always_on_core: int = 16
+    steps_ahead: int = 4
 
     def _validate(self) -> None:
         if self.num_users < 1:
             raise SpecError(f"num_users must be >= 1, got {self.num_users}")
+        if self.population not in ("full", "aggregated"):
+            raise SpecError(
+                f"population must be 'full' or 'aggregated', "
+                f"got {self.population!r}")
+        if self.always_on_core < 1:
+            raise SpecError(
+                f"always_on_core must be >= 1, got {self.always_on_core}")
+        if self.steps_ahead < 1:
+            raise SpecError(
+                f"steps_ahead must be >= 1, got {self.steps_ahead}")
         if self.rounds < 1:
             raise SpecError(f"rounds must be >= 1, got {self.rounds}")
         if not 1 <= self.measure_round <= self.rounds:

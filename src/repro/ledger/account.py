@@ -8,6 +8,7 @@ table that sortition verification reads.
 
 from __future__ import annotations
 
+from types import MappingProxyType
 from typing import Iterable, Mapping
 
 from repro.common.errors import InvalidTransaction
@@ -23,6 +24,7 @@ class AccountState:
             if balance < 0:
                 raise ValueError(f"negative initial balance for {public.hex()}")
         self._nonces: dict[bytes, int] = {}
+        self._weights_cache: Mapping[bytes, int] | None = None
 
     def copy(self) -> "AccountState":
         clone = AccountState()
@@ -41,9 +43,19 @@ class AccountState:
         """Total currency ``W`` — the sortition denominator."""
         return sum(self._balances.values())
 
-    def weights(self) -> dict[bytes, int]:
-        """Snapshot of the weight table (public key -> currency units)."""
-        return dict(self._balances)
+    def weights(self) -> Mapping[bytes, int]:
+        """Shared immutable snapshot of the weight table.
+
+        Cached until the next :meth:`apply`: every caller between two
+        mutations — the node's sortition context, the chain's per-round
+        weight history, recovery and catch-up — shares one frozen
+        mapping instead of each rebuilding an N-entry dict. The proxy
+        wraps a private copy, so later state mutations can never drift
+        a snapshot that a round context already holds.
+        """
+        if self._weights_cache is None:
+            self._weights_cache = MappingProxyType(dict(self._balances))
+        return self._weights_cache
 
     def check(self, tx: Transaction) -> None:
         """Validate ``tx`` against current state (no signature check here).
@@ -64,6 +76,7 @@ class AccountState:
     def apply(self, tx: Transaction) -> None:
         """Apply a validated transaction; raises if it does not validate."""
         self.check(tx)
+        self._weights_cache = None
         self._balances[tx.sender] -= tx.amount
         if self._balances[tx.sender] == 0:
             del self._balances[tx.sender]

@@ -1,0 +1,240 @@
+"""Array-backed account state for large populations.
+
+The paper's evaluation reaches 500,000 users; holding every user's
+balance in a per-chain python dict (and copying that dict into a fresh
+snapshot at every round boundary, on every node) is what made large
+populations unaffordable. :class:`ArrayState` keeps balances in one
+numpy ``int64`` array keyed by a *stable account index* and exposes the
+same API as :class:`repro.ledger.account.AccountState`, including a
+dict-like :class:`ArrayWeights` view so every existing caller of
+``state.weights()`` keeps working unchanged.
+
+Three properties matter for the aggregated-population refactor:
+
+* **Stable indices.** Public keys map to array slots through a shared,
+  append-only :class:`AccountIndex`. All chain replicas of one
+  simulation share the registry, so the stake-pool sortition pass in
+  :mod:`repro.sortition.pool` can evaluate "one array" instead of one
+  dict per chain. Append-only means forks can never disagree about a
+  slot: a key present on any chain owns its slot everywhere.
+* **O(accounts) copies.** ``copy()`` (used by transaction dry-runs and
+  agent materialization) is one ``numpy`` array copy plus a sparse
+  nonce-dict copy — no per-key dict churn.
+* **Shared immutable snapshots.** ``weights()`` returns a *cached
+  frozen* :class:`ArrayWeights`; the cache is invalidated on mutation,
+  so rounds that commit no balance change share one snapshot object
+  across the whole weight history (and across every consumer of
+  ``chain.weights_at``).
+
+Equivalence with ``AccountState`` is exact: same accepted/rejected
+transactions, same balances/nonces, and ``weights()`` exposes exactly
+the keys with positive balance (zero-balance accounts vanish from the
+view just as ``AccountState`` deletes their dict entries).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping
+
+import numpy as np
+
+from repro.common.errors import InvalidTransaction
+from repro.ledger.transaction import Transaction
+
+
+class AccountIndex:
+    """Shared append-only mapping public key -> stable array slot.
+
+    One instance per simulation; every :class:`ArrayState` of every
+    chain replica resolves keys through it. Growing the registry never
+    invalidates existing states — their arrays simply read as zero for
+    slots allocated after their last write.
+    """
+
+    __slots__ = ("_slots", "_keys")
+
+    def __init__(self, publics: Iterable[bytes] = ()) -> None:
+        self._slots: dict[bytes, int] = {}
+        self._keys: list[bytes] = []
+        for public in publics:
+            self.slot_of(public)
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def slot_of(self, public: bytes) -> int:
+        """Slot for ``public``, allocating one if unseen."""
+        slot = self._slots.get(public)
+        if slot is None:
+            slot = len(self._keys)
+            self._slots[public] = slot
+            self._keys.append(public)
+        return slot
+
+    def get(self, public: bytes) -> int | None:
+        """Slot for ``public`` or ``None`` (never allocates)."""
+        return self._slots.get(public)
+
+    def key_of(self, slot: int) -> bytes:
+        return self._keys[slot]
+
+    @property
+    def keys(self) -> list[bytes]:
+        """All registered keys, slot order (live list — do not mutate)."""
+        return self._keys
+
+
+class ArrayWeights(Mapping[bytes, int]):
+    """Frozen dict-view over one balance-array snapshot.
+
+    Implements the full ``Mapping`` protocol over exactly the accounts
+    with positive balance, without materializing a dict: lookups are one
+    slot resolution plus one array read. Instances are immutable (they
+    own a private array copy) and are shared freely across weight
+    history entries, BA contexts, and the stake pool.
+    """
+
+    __slots__ = ("_index", "_balances", "total", "_nonzero")
+
+    #: Marks the mapping as already-immutable for
+    #: :class:`repro.baplus.context.BAContext`'s no-copy fast path.
+    frozen = True
+
+    def __init__(self, index: AccountIndex, balances: np.ndarray) -> None:
+        self._index = index
+        self._balances = balances
+        self._balances.setflags(write=False)
+        #: Total currency ``W`` — the sortition denominator, precomputed
+        #: so contexts over 10k+ accounts skip the O(n) python sum.
+        self.total = int(balances.sum())
+        self._nonzero = int(np.count_nonzero(balances))
+
+    def __getitem__(self, public: bytes) -> int:
+        slot = self._index.get(public)
+        if slot is None or slot >= len(self._balances):
+            raise KeyError(public)
+        balance = int(self._balances[slot])
+        if balance == 0:
+            raise KeyError(public)
+        return balance
+
+    def get(self, public: bytes, default: int = 0) -> int:
+        slot = self._index.get(public)
+        if slot is None or slot >= len(self._balances):
+            return default
+        balance = int(self._balances[slot])
+        return balance if balance else default
+
+    def __iter__(self) -> Iterator[bytes]:
+        balances = self._balances
+        key_of = self._index.key_of
+        for slot in np.flatnonzero(balances):
+            yield key_of(int(slot))
+
+    def __len__(self) -> int:
+        return self._nonzero
+
+    def __contains__(self, public: object) -> bool:
+        if not isinstance(public, bytes):
+            return False
+        slot = self._index.get(public)
+        return (slot is not None and slot < len(self._balances)
+                and bool(self._balances[slot]))
+
+    @property
+    def array(self) -> np.ndarray:
+        """The raw (read-only) balance array, for the vectorized pool."""
+        return self._balances
+
+    @property
+    def index(self) -> AccountIndex:
+        return self._index
+
+
+class ArrayState:
+    """Drop-in :class:`AccountState` replacement backed by one array."""
+
+    __slots__ = ("_index", "_balances", "_nonces", "_weights_cache")
+
+    def __init__(self, balances: Mapping[bytes, int] | None = None,
+                 index: AccountIndex | None = None) -> None:
+        self._index = index if index is not None else AccountIndex()
+        self._balances = np.zeros(max(len(self._index), 8), dtype=np.int64)
+        self._nonces: dict[bytes, int] = {}
+        self._weights_cache: ArrayWeights | None = None
+        for public, balance in (balances or {}).items():
+            if balance < 0:
+                raise ValueError(
+                    f"negative initial balance for {public.hex()}")
+            self._set(public, balance)
+
+    def _set(self, public: bytes, balance: int) -> None:
+        slot = self._index.slot_of(public)
+        if slot >= len(self._balances):
+            grown = np.zeros(max(slot + 1, 2 * len(self._balances)),
+                             dtype=np.int64)
+            grown[:len(self._balances)] = self._balances
+            self._balances = grown
+        self._balances[slot] = balance
+
+    def copy(self) -> "ArrayState":
+        clone = ArrayState.__new__(ArrayState)
+        clone._index = self._index
+        clone._balances = self._balances.copy()
+        clone._nonces = dict(self._nonces)
+        clone._weights_cache = None
+        return clone
+
+    def balance(self, public: bytes) -> int:
+        slot = self._index.get(public)
+        if slot is None or slot >= len(self._balances):
+            return 0
+        return int(self._balances[slot])
+
+    def next_nonce(self, public: bytes) -> int:
+        return self._nonces.get(public, 0)
+
+    @property
+    def total_weight(self) -> int:
+        return int(self._balances.sum())
+
+    def weights(self) -> ArrayWeights:
+        """Shared immutable snapshot of the weight table.
+
+        Cached until the next mutation: consecutive calls (and rounds
+        that commit no balance change) return the *same* object.
+        """
+        if self._weights_cache is None:
+            self._weights_cache = ArrayWeights(self._index,
+                                               self._balances.copy())
+        return self._weights_cache
+
+    def check(self, tx: Transaction) -> None:
+        tx.check_shape()
+        if tx.nonce != self.next_nonce(tx.sender):
+            raise InvalidTransaction(
+                f"nonce {tx.nonce} != expected {self.next_nonce(tx.sender)}"
+            )
+        if self.balance(tx.sender) < tx.amount:
+            raise InvalidTransaction(
+                f"overspend: balance {self.balance(tx.sender)} < {tx.amount}"
+            )
+
+    def apply(self, tx: Transaction) -> None:
+        self.check(tx)
+        self._weights_cache = None
+        self._set(tx.sender, self.balance(tx.sender) - tx.amount)
+        self._set(tx.recipient, self.balance(tx.recipient) + tx.amount)
+        self._nonces[tx.sender] = tx.nonce + 1
+
+    def apply_all(self, transactions: Iterable[Transaction]) -> None:
+        for tx in transactions:
+            self.apply(tx)
+
+    def would_accept(self, transactions: Iterable[Transaction]) -> bool:
+        trial = self.copy()
+        try:
+            trial.apply_all(transactions)
+        except InvalidTransaction:
+            return False
+        return True

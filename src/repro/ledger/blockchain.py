@@ -14,7 +14,7 @@ alternative block sequence sharing the same genesis.
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping
+from typing import Callable, Iterable, Mapping
 
 from repro.common.errors import LedgerError
 from repro.ledger.account import AccountState
@@ -34,22 +34,32 @@ class Blockchain:
     """Blocks, balances, and seeds for one chain."""
 
     def __init__(self, initial_balances: Mapping[bytes, int],
-                 genesis_seed: bytes, seed_refresh_interval: int) -> None:
+                 genesis_seed: bytes, seed_refresh_interval: int,
+                 state_factory: Callable[[Mapping[bytes, int]],
+                                         AccountState] = AccountState) -> None:
         if not initial_balances:
             raise LedgerError("initial balances must be non-empty")
         self._initial_balances = dict(initial_balances)
         self._genesis_seed = genesis_seed
+        #: Builds the state representation: :class:`AccountState` (dict)
+        #: by default, or an aggregated-population
+        #: :class:`repro.ledger.arraystate.ArrayState` bound to a shared
+        #: account index. Both expose the same API; replicas and forks
+        #: inherit the factory.
+        self._state_factory = state_factory
         self._blocks: list[Block] = [make_genesis(genesis_seed)]
         self._certificates: dict[int, object] = {}
         # Final-step certificates (section 8.3): proof that a round's
         # block was designated final — one suffices to establish safety
         # of the whole prefix.
         self._final_certificates: dict[int, object] = {}
-        self._state = AccountState(initial_balances)
+        self._state = state_factory(initial_balances)
         self._seeds = SeedChain(genesis_seed, seed_refresh_interval)
         # Per-round weight snapshots (index == round number), supporting
-        # the section 5.3 weight look-back.
-        self._weight_history: list[dict[bytes, int]] = [
+        # the section 5.3 weight look-back. Entries are the *shared*
+        # frozen mappings state.weights() caches — rounds without
+        # balance changes alias one snapshot object.
+        self._weight_history: list[Mapping[bytes, int]] = [
             self._state.weights()]
 
     # --- Read API ---------------------------------------------------------
@@ -121,15 +131,18 @@ class Blockchain:
     def seed_of_round(self, round_number: int) -> bytes:
         return self._seeds.seed_of_round(round_number)
 
-    def weights_at(self, round_number: int) -> dict[bytes, int]:
+    def weights_at(self, round_number: int) -> Mapping[bytes, int]:
         """Weight table as of the end of ``round_number`` (0 == genesis).
 
         Backs the section 5.3 look-back: sortition may be evaluated
         against an older snapshot so an adversary acquiring stake cannot
-        immediately influence committee selection.
+        immediately influence committee selection. The returned mapping
+        is the *shared immutable* snapshot itself (no per-caller copy);
+        every consumer — contexts, recovery, catch-up, the stake pool —
+        reads the same object.
         """
         try:
-            return dict(self._weight_history[round_number])
+            return self._weight_history[round_number]
         except IndexError:
             raise LedgerError(
                 f"no weight snapshot for round {round_number}") from None
@@ -183,9 +196,33 @@ class Blockchain:
         are recomputed from scratch, validating linkage along the way.
         """
         clone = Blockchain(self._initial_balances, self._genesis_seed,
-                           self._seeds.refresh_interval)
+                           self._seeds.refresh_interval,
+                           state_factory=self._state_factory)
         for block in blocks:
             clone.append(block)
+        return clone
+
+    def replica(self) -> "Blockchain":
+        """Cheap same-tip clone for materializing a new agent.
+
+        Where :meth:`fork_from` replays every block from genesis (O(r)
+        transaction re-application), a replica copies the derived views
+        directly: block/seed lists are shared-ref copies, weight-history
+        entries are the same frozen snapshots, and the account state is
+        one ``state.copy()``. The clone is independent — appends to
+        either chain never touch the other — and byte-identical to what
+        a genesis replay would produce.
+        """
+        clone = Blockchain.__new__(Blockchain)
+        clone._initial_balances = self._initial_balances
+        clone._genesis_seed = self._genesis_seed
+        clone._state_factory = self._state_factory
+        clone._blocks = list(self._blocks)
+        clone._certificates = dict(self._certificates)
+        clone._final_certificates = dict(self._final_certificates)
+        clone._state = self._state.copy()
+        clone._seeds = self._seeds.copy()
+        clone._weight_history = list(self._weight_history)
         return clone
 
     def shares_prefix_with(self, other: "Blockchain") -> int:

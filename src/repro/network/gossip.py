@@ -59,9 +59,19 @@ URGENT_MESSAGE_BYTES = 1500
 
 
 class NetworkInterface:
-    """One node's attachment point to the gossip network."""
+    """One node's attachment point to the gossip network.
 
-    def __init__(self, network: "GossipNetwork", index: int) -> None:
+    Interfaces exist for every population slot, but only *activated*
+    ones own an egress process. In the classic full-agent deployment
+    every interface activates at network construction (same process
+    creation order as ever); the aggregated population activates an
+    interface the first time its account is materialized as an agent,
+    and parks it again (dormant: disconnected, no neighbors, queues
+    cleared) when the agent retires.
+    """
+
+    def __init__(self, network: "GossipNetwork", index: int,
+                 start_egress: bool = True) -> None:
         self._network = network
         # Tracing is fixed at network construction; cache the registry
         # handle so per-delivery guards are one attribute load, not a
@@ -97,7 +107,33 @@ class NetworkInterface:
         self._egress_urgent: deque[tuple[Envelope, int]] = deque()
         self._egress_bulk: deque[tuple[Envelope, int]] = deque()
         self._egress_signal = network.env.signal()
-        network.env.process(self._egress_loop(), f"egress-{index}")
+        self._egress_started = False
+        if start_egress:
+            self.activate()
+
+    def activate(self) -> None:
+        """Bring the interface online (idempotent).
+
+        Spawns the egress process on first activation; re-activation
+        after :meth:`deactivate` just reconnects.
+        """
+        self.disconnected = False
+        if not self._egress_started:
+            self._egress_started = True
+            self._network.env.process(self._egress_loop(),
+                                      f"egress-{self.index}")
+
+    def deactivate(self) -> None:
+        """Park the interface: silent, unreachable, queues dropped.
+
+        The egress process (if ever started) stays blocked on its
+        signal — a parked process costs nothing in the event loop.
+        """
+        self.disconnected = True
+        self.neighbors = []
+        self._egress_urgent.clear()
+        self._egress_bulk.clear()
+        self.inbox.clear()
 
     # --- Sending ----------------------------------------------------------
 
@@ -277,7 +313,8 @@ class GossipNetwork:
                  bandwidth_bps: float | None = 20e6,
                  seen_horizon_rounds: int | None = 2,
                  lane_budget_msgs: int | None = None,
-                 obs: "TraceBus | None" = None) -> None:
+                 obs: "TraceBus | None" = None,
+                 active_indices: "list[int] | None" = None) -> None:
         if num_nodes < 2:
             raise NetworkError("gossip network needs at least 2 nodes")
         if peers_per_node < 1:
@@ -301,12 +338,30 @@ class GossipNetwork:
         self.lane_budget_msgs = lane_budget_msgs
         self.drop_filter: DropFilter | None = None
         self.link_shaper: LinkShaper | None = None
+        #: Optional cache-priming hook for batched deliveries (see
+        #: :class:`repro.runtime.admission.BatchVerifier`): called once
+        #: per same-instant arrival group with the ``(dst, envelope)``
+        #: payloads, before the group is delivered. Purely a
+        #: verification-cache warm-up — it must never change semantics.
+        self.batch_verifier: Callable[[list], None] | None = None
         self.messages_delivered = 0
         #: Nodes currently severed from the topology (peer quarantine);
         #: maintained by :meth:`set_quarantined`.
         self.quarantined: frozenset[int] = frozenset()
-        self.interfaces = [NetworkInterface(self, i)
+        #: Aggregated-population mode: only these slots participate in
+        #: the gossip fabric. ``None`` (classic mode) means every slot
+        #: is live — and follows the original construction path exactly
+        #: (same egress process creation order, same topology RNG
+        #: consumption).
+        self.active: frozenset[int] | None = (
+            frozenset(active_indices) if active_indices is not None
+            else None)
+        defer = self.active is not None
+        self.interfaces = [NetworkInterface(self, i, start_egress=not defer)
                            for i in range(num_nodes)]
+        if defer:
+            for i in sorted(self.active):
+                self.interfaces[i].activate()
         self.reshuffle_peers()
 
     @property
@@ -324,7 +379,7 @@ class GossipNetwork:
         """
         n = self.num_nodes
         adjacency: list[set[int]] = [set() for _ in range(n)]
-        if not self.quarantined:
+        if self.active is None and not self.quarantined:
             k = min(self.peers_per_node, n - 1)
             for node in range(n):
                 peers = self.rng.choice(n - 1, size=k, replace=False)
@@ -334,7 +389,9 @@ class GossipNetwork:
                     adjacency[node].add(target)
                     adjacency[target].add(node)
         else:
-            eligible = [i for i in range(n) if i not in self.quarantined]
+            pool = (range(n) if self.active is None
+                    else sorted(self.active))
+            eligible = [i for i in pool if i not in self.quarantined]
             m = len(eligible)
             k = min(self.peers_per_node, m - 1)
             if k >= 1:
@@ -349,6 +406,27 @@ class GossipNetwork:
                         adjacency[target].add(node)
         for node in range(n):
             self.interfaces[node].neighbors = sorted(adjacency[node])
+
+    def set_active(self, indices) -> None:
+        """Aggregated-population round boundary: swap the live slot set.
+
+        Newly active slots are brought online (egress process spawned on
+        first activation), dropped slots are parked, and the peer graph
+        is rebuilt over the new active set. No-op when the set is
+        unchanged — in particular, an aggregated deployment whose core
+        covers the whole population never reshuffles here, keeping its
+        RNG stream identical to the classic construction.
+        """
+        active = frozenset(indices)
+        if active == self.active:
+            return
+        previous = self.active if self.active is not None else frozenset()
+        self.active = active
+        for index in sorted(previous - active):
+            self.interfaces[index].deactivate()
+        for index in sorted(active - previous):
+            self.interfaces[index].activate()
+        self.reshuffle_peers()
 
     def set_quarantined(self, indices) -> None:
         """Update the severed-node set and repair the topology.
@@ -426,7 +504,8 @@ class GossipNetwork:
             self.messages_delivered += 1
             self.interfaces[item[0]]._deliver(item[1], src)
 
-        self.env.schedule_batch(arrivals, deliver)
+        self.env.schedule_batch(arrivals, deliver,
+                                prelude=self.batch_verifier)
 
     def _arrive(self, src: int, dst: int, envelope: Envelope) -> None:
         self.messages_delivered += 1
@@ -437,7 +516,13 @@ class GossipNetwork:
         if self.seen_horizon_rounds is None:
             return
         watermark = next_msg_id()
-        for interface in self.interfaces:
+        if self.active is None:
+            interfaces = self.interfaces
+        else:
+            # Dormant slots receive nothing, so their _seen sets never
+            # grow; skip the (possibly 10k+-slot) walk over them.
+            interfaces = [self.interfaces[i] for i in sorted(self.active)]
+        for interface in interfaces:
             interface.prune_seen(watermark, self.seen_horizon_rounds)
 
     # --- Cost accounting ----------------------------------------------

@@ -20,7 +20,7 @@ All incoming gossip is handled synchronously in the relay-policy callback
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Callable, Mapping
 
 from repro.baplus.buffer import VoteBuffer
 from repro.baplus.certificate import Certificate, build_certificate
@@ -104,6 +104,11 @@ class Node:
         # the same round's context once per delivered envelope, and the
         # weight-table rebuild dominates that path.
         self._ctx_memo: tuple[tuple[int, int, bytes], BAContext] | None = None
+        # Memo for _sortition_weights keyed (round, lookback): the
+        # look-back min-merge rebuilds an N-entry dict per call
+        # otherwise. Commit invalidates it (the table may shift with the
+        # new block), as do resync/crash (the whole chain may).
+        self._weights_memo: dict[tuple[int, int], Mapping[bytes, int]] = {}
         self.participant = BAParticipant(
             env=env, params=params, backend=backend, buffer=self.buffer,
             keypair=keypair, gossip_vote=self._gossip_vote,
@@ -259,6 +264,7 @@ class Node:
         self._seen_priorities.clear()
         self.fork_monitor.clear()
         self._ctx_memo = None
+        self._weights_memo.clear()
         if self.admission is not None:
             self.admission.reset()
         if self.obs is not None:
@@ -308,27 +314,35 @@ class Node:
         self._ctx_memo = (memo_key, ctx)
         return ctx
 
-    def _sortition_weights(self, round_number: int) -> dict[bytes, int]:
+    def _sortition_weights(self, round_number: int) -> Mapping[bytes, int]:
         """Weight table for sortition at ``round_number`` (section 5.3).
 
         With ``weight_lookback_rounds == 0`` this is the current table;
         otherwise the snapshot from ``lookback`` rounds ago, optionally
         floored by current balances (``lookback_take_min``, the paper's
-        nothing-at-stake mitigation).
+        nothing-at-stake mitigation). Memoized per (round, lookback)
+        until the next commit — admission asks for the same round's
+        table once per delivered envelope.
         """
         lookback = self.params.weight_lookback_rounds
+        memo_key = (round_number, lookback)
+        cached = self._weights_memo.get(memo_key)
+        if cached is not None:
+            return cached
         if lookback == 0:
-            return self.chain.state.weights()
-        reference = max(0, round_number - 1 - lookback)
-        weights = self.chain.weights_at(reference)
-        if self.params.lookback_take_min:
-            current = self.chain.state.weights()
-            weights = {
-                public: min(balance, current.get(public, 0))
-                for public, balance in weights.items()
-            }
-            weights = {public: balance
-                       for public, balance in weights.items() if balance}
+            weights: Mapping[bytes, int] = self.chain.state.weights()
+        else:
+            reference = max(0, round_number - 1 - lookback)
+            weights = self.chain.weights_at(reference)
+            if self.params.lookback_take_min:
+                current = self.chain.state.weights()
+                weights = {
+                    public: min(balance, current.get(public, 0))
+                    for public, balance in weights.items()
+                }
+                weights = {public: balance
+                           for public, balance in weights.items() if balance}
+        self._weights_memo[memo_key] = weights
         return weights
 
     def _round_loop(self, target_height: int):
@@ -358,6 +372,8 @@ class Node:
             return False
         from_height = self.chain.height
         self.chain = adopted
+        self._ctx_memo = None
+        self._weights_memo.clear()
         if self.obs is not None:
             self.obs.emit("catchup_adopted", node=self.index,
                           round=self.chain.next_round,
@@ -605,6 +621,7 @@ class Node:
             seed_override = fallback_seed(
                 self.chain.seed_of_round(round_number - 1), round_number)
         self.chain.append(block, certificate, seed_override=seed_override)
+        self._weights_memo.clear()
         self.mempool.prune_committed(block.transactions, self.chain.state)
         if self.on_commit is not None:
             self.on_commit(round_number)

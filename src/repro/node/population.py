@@ -1,0 +1,354 @@
+"""Aggregated population: a stake pool plus lazily materialized agents.
+
+The classic harness builds one live :class:`~repro.node.agent.Node` per
+user — N chains, N vote buffers, N gossip interfaces — even though a
+round's behaviour is determined by its committee-sized fraction of the
+population. :class:`Population` replaces "build N nodes" with:
+
+* an **aggregated stake pool** — every account's key pair and balance,
+  held as arrays keyed by the stable slot index of
+  :class:`repro.ledger.arraystate.AccountIndex` (slot == simulation
+  node index);
+* an **always-on core** — the first ``core_size`` accounts stay full
+  agents for the whole run (they anchor liveness measurements, carry
+  transaction injection, and drive round completion);
+* **materialization on selection** — at each round boundary one
+  vectorized pool-sortition pass (:func:`repro.sortition.pool
+  .pool_select`) finds every account selected for the coming round's
+  roles; those accounts are instantiated as full agents (chain replica
+  via :meth:`~repro.ledger.blockchain.Blockchain.replica`, fresh node,
+  activated gossip interface) just in time to propose and vote;
+* **retirement after their round** — transient agents are torn down at
+  the next boundary unless re-selected.
+
+Role coverage: winners are computed for the proposer role, both
+reduction steps, BinaryBA* steps ``1..steps_ahead``, and the final
+committee. ``steps_ahead`` defaults to 4: an honest round decides at
+binary step 1 and its deciders then vote steps 2-4 (Algorithm 8's
+"next three steps" steering), so 4 covers the clean-path traffic
+exactly; pathological rounds that run deeper than ``steps_ahead``
+simply lose those later committees' (dormant) votes — acceptable for
+the honest large-scale deployments this mode targets, and configurable
+upward. Adversarial experiments keep the full-agent mode.
+
+The boundary trigger is the *first* commit of each round across the
+live agents: no agent has started the next round at that instant, so a
+freshly materialized winner never misses next-round gossip.
+
+Equivalence: when the core covers the whole population there is no
+dormant stake — no pool pass runs, no topology changes happen, and the
+deployment must commit byte-identical chains to the classic full-agent
+harness (asserted by the representation-equivalence suite). With a
+small core, committed *content* diverges only through block timestamps
+(commit times shift with the thinner relay fabric), while the
+protocol-outcome trajectory — proposer sequence and seed chain, which
+depend solely on VRFs — stays identical to the full run.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+import numpy as np
+
+from repro.common.errors import ConfigError
+from repro.common.params import ProtocolParams
+from repro.crypto.backend import CryptoBackend, KeyPair
+from repro.ledger.arraystate import AccountIndex, ArrayState, ArrayWeights
+from repro.ledger.blockchain import Blockchain
+from repro.network.gossip import GossipNetwork
+from repro.node.agent import Node
+from repro.node.registry import BlockRegistry
+from repro.sim.loop import Environment, Process
+from repro.sortition.pool import pool_select
+from repro.sortition.roles import (
+    FINAL_STEP,
+    REDUCTION_ONE,
+    REDUCTION_TWO,
+    committee_role,
+    proposer_role,
+)
+
+
+class Population:
+    """Owns the stake pool and the live-agent table of one deployment."""
+
+    def __init__(self, *, env: Environment, backend: CryptoBackend,
+                 params: ProtocolParams, network: GossipNetwork,
+                 registry: BlockRegistry, keypairs: list[KeyPair],
+                 balances: list[int], genesis_seed: bytes,
+                 core_size: int, steps_ahead: int = 4,
+                 node_class: type[Node] = Node,
+                 obs=None,
+                 attach_admission: Callable[[Node], None] | None = None,
+                 round_hook: Callable[[int], None] | None = None) -> None:
+        if core_size < 1:
+            raise ConfigError("always-on core must hold at least 1 agent")
+        if steps_ahead < 1:
+            raise ConfigError("steps_ahead must be >= 1")
+        self.env = env
+        self.backend = backend
+        self.params = params
+        self.network = network
+        self.registry = registry
+        self.keypairs = keypairs
+        self.genesis_seed = genesis_seed
+        self.steps_ahead = steps_ahead
+        self.node_class = node_class
+        self.obs = obs
+        self._attach_admission = attach_admission
+        #: Harness round hook (seen-set pruning, quarantine round end,
+        #: optional reshuffle) — invoked on the designated core agent's
+        #: commits, exactly as the classic harness does via node 0.
+        self._round_hook = round_hook
+
+        self.num_accounts = len(keypairs)
+        self.core = list(range(min(core_size, self.num_accounts)))
+        self._all_core = len(self.core) == self.num_accounts
+        #: Stable account index: slot i == simulation node index i.
+        self.index = AccountIndex(kp.public for kp in keypairs)
+        self._secrets = [kp.secret for kp in keypairs]
+        self.initial_balances = {
+            kp.public: balance
+            for kp, balance in zip(keypairs, balances) if balance > 0
+        }
+
+        #: Live agents by slot (core + current transients).
+        self.live: dict[int, Node] = {}
+        self._targets: dict[int, int] = {}
+        self._retired: set[int] = set()
+        #: Boundary bookkeeping: rounds whose winners are materialized.
+        self._materialized_through = 0
+        self._rounds_target = 0
+        # Lifecycle counters for summaries and the scale bench.
+        self.materialized_total = 0
+        self.retired_total = 0
+        self.live_high_water = 0
+
+        for slot in self.core:
+            self._create_agent(slot)
+
+    # ------------------------------------------------------------------
+    # Agent lifecycle
+    # ------------------------------------------------------------------
+
+    def _state_factory(self, initial: Mapping[bytes, int]) -> ArrayState:
+        return ArrayState(initial, index=self.index)
+
+    def _create_agent(self, slot: int, source: Blockchain | None = None
+                      ) -> Node:
+        """Materialize one account as a full agent.
+
+        ``source`` is the boundary chain to replicate; ``None`` builds
+        a genesis chain (construction-time core agents).
+        """
+        if source is None:
+            chain = Blockchain(self.initial_balances, self.genesis_seed,
+                               self.params.seed_refresh_interval,
+                               state_factory=self._state_factory)
+        else:
+            chain = source.replica()
+        node = self.node_class(
+            index=slot, env=self.env, keypair=self.keypairs[slot],
+            backend=self.backend, params=self.params, chain=chain,
+            interface=self.network.interfaces[slot],
+            registry=self.registry, obs=self.obs,
+        )
+        if self._attach_admission is not None:
+            self._attach_admission(node)
+        node.on_commit = (
+            lambda round_number, _node=node: self.note_commit(
+                _node, round_number))
+        self.live[slot] = node
+        self.materialized_total += 1
+        if len(self.live) > self.live_high_water:
+            self.live_high_water = len(self.live)
+        return node
+
+    def _retire(self, slot: int) -> None:
+        node = self.live.pop(slot)
+        self._targets.pop(slot, None)
+        self._retired.add(slot)
+        self.retired_total += 1
+        process = node._round_process
+        if process is not None and not process.done and not process.running:
+            # A running process here is the committing agent retiring
+            # itself at its own boundary hook; its round loop exits on
+            # its own once the hook unwinds (height reached its target).
+            process.interrupt()
+        for background in node._background:
+            if not background.done:
+                background.interrupt()
+        node._background.clear()
+        node.buffer.clear()
+        if self.obs is not None:
+            self.obs.emit("agent_retired", node=slot,
+                          height=node.chain.height)
+
+    def _run_until(self, slot: int, target: int) -> None:
+        """Ensure ``slot``'s agent runs (at least) through ``target``.
+
+        If its round process already completed, restart it; if it is
+        still mid-round, chain the restart onto process completion (the
+        done callback fires synchronously at the commit that ends its
+        current target).
+        """
+        node = self.live[slot]
+        current = self._targets.get(slot, 0)
+        if target <= current:
+            return
+        self._targets[slot] = target
+        process = node._round_process
+        if process is None or process.done:
+            node.start(target)
+        else:
+            def extend(_process, slot=slot, target=target) -> None:
+                live = self.live.get(slot)
+                if (live is not None
+                        and self._targets.get(slot, 0) == target
+                        and live.chain.height < target):
+                    live.start(target)
+
+            process.add_done_callback(extend)
+
+    # ------------------------------------------------------------------
+    # Round boundaries
+    # ------------------------------------------------------------------
+
+    def start(self, rounds: int) -> list[Process]:
+        """Start the core for a ``rounds``-round run; returns processes.
+
+        Also materializes round 1's winners from the genesis state (the
+        construction-time analogue of the per-round boundary pass).
+        """
+        self._rounds_target = rounds
+        reference = self.live[self.core[0]].chain
+        self._materialize_round(1, reference)
+        processes = []
+        for slot in self.core:
+            self._targets[slot] = rounds
+            processes.append(self.live[slot].start(rounds))
+        return processes
+
+    def note_commit(self, node: Node, round_number: int) -> None:
+        """Per-agent commit hook: drive boundaries off the first commit.
+
+        The first live agent to commit round ``r`` triggers the pool
+        pass for round ``r + 1`` — at that instant nobody has begun
+        round ``r + 1``, so winners materialize before any of its
+        gossip exists. The designated core agent's commit additionally
+        runs the harness round hook (matching classic node-0 wiring).
+        """
+        if round_number > self._materialized_through:
+            next_round = round_number + 1
+            if next_round <= self._rounds_target or self._rounds_target == 0:
+                self._materialize_round(next_round, node.chain)
+            self._materialized_through = round_number
+        if node.index == self.core[0] and self._round_hook is not None:
+            self._round_hook(round_number)
+
+    def _materialize_round(self, round_number: int,
+                           reference: Blockchain) -> None:
+        if self._all_core:
+            # No dormant stake: nothing to select, retire, or rewire —
+            # and critically no extra RNG/event consumption, which is
+            # what keeps this configuration byte-identical to the
+            # classic full-agent harness.
+            return
+        winners = self.select_round(round_number, reference)
+        for slot in sorted(set(self.live) - set(self.core) - winners):
+            self._retire(slot)
+        fresh = sorted(winners - set(self.live))
+        for slot in fresh:
+            self._create_agent(slot, source=reference)
+        self.network.set_active(sorted(self.live))
+        target = round_number
+        if self._rounds_target:
+            target = min(target, self._rounds_target)
+        # Core agents run to the full horizon under start()'s control;
+        # only transients need per-round target management.
+        for slot in sorted(winners - set(self.core)):
+            self._run_until(slot, target)
+        if self.obs is not None:
+            self.obs.emit("population_boundary", round=round_number,
+                          winners=len(winners), fresh=len(fresh),
+                          live=len(self.live))
+
+    # ------------------------------------------------------------------
+    # Pool sortition
+    # ------------------------------------------------------------------
+
+    def _round_roles(self, round_number: int) -> list[tuple[bytes, float]]:
+        params = self.params
+        roles = [
+            (proposer_role(round_number), params.tau_proposer),
+            (committee_role(round_number, REDUCTION_ONE), params.tau_step),
+            (committee_role(round_number, REDUCTION_TWO), params.tau_step),
+        ]
+        for step in range(1, self.steps_ahead + 1):
+            roles.append((committee_role(round_number, str(step)),
+                          params.tau_step))
+        roles.append((committee_role(round_number, FINAL_STEP),
+                      params.tau_final))
+        return roles
+
+    def _slot_weights(self, reference: Blockchain,
+                      round_number: int) -> tuple[np.ndarray, int]:
+        """Weight array over pool slots for sortition at ``round_number``.
+
+        Mirrors :meth:`Node._sortition_weights` (section 5.3 look-back
+        included) so pool selection and the materialized agents' own
+        sortition calls answer from the same table.
+        """
+        params = self.params
+        lookback = params.weight_lookback_rounds
+        if lookback == 0:
+            weights: Mapping[bytes, int] = reference.state.weights()
+        else:
+            cutoff = max(0, round_number - 1 - lookback)
+            weights = reference.weights_at(cutoff)
+            if params.lookback_take_min:
+                current = reference.state.weights()
+                weights = {public: min(balance, current.get(public, 0))
+                           for public, balance in weights.items()}
+        n = self.num_accounts
+        if (isinstance(weights, ArrayWeights)
+                and weights.index is self.index
+                and len(weights.array) >= n):
+            return weights.array[:n], weights.total
+        array = np.zeros(n, dtype=np.int64)
+        for public, balance in weights.items():
+            slot = self.index.get(public)
+            if slot is not None and slot < n:
+                array[slot] = balance
+        return array, int(array.sum())
+
+    def select_round(self, round_number: int,
+                     reference: Blockchain) -> set[int]:
+        """Slots selected for any of ``round_number``'s covered roles."""
+        weights, total_weight = self._slot_weights(reference, round_number)
+        seed = reference.selection_seed(round_number)
+        winners: set[int] = set()
+        for role, tau in self._round_roles(round_number):
+            selection = pool_select(self.backend, self._secrets, weights,
+                                    tau, total_weight, seed, role)
+            winners.update(selection.winners)
+        return winners
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def core_nodes(self) -> list[Node]:
+        return [self.live[slot] for slot in self.core]
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "accounts": self.num_accounts,
+            "core": len(self.core),
+            "live": len(self.live),
+            "live_high_water": self.live_high_water,
+            "materialized_total": self.materialized_total,
+            "retired_total": self.retired_total,
+        }

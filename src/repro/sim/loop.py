@@ -233,6 +233,18 @@ class Process(Waitable):
         else:
             self._finish_callbacks.append(callback)
 
+    @property
+    def running(self) -> bool:
+        """True while the generator frame is actually executing.
+
+        A process can observe this about *itself* through a callback
+        chain (e.g. a commit hook retiring the committing agent); such
+        a process cannot be interrupted — ``generator.close()`` on an
+        executing frame raises — and does not need to be, since control
+        returns to its own frame when the callback unwinds.
+        """
+        return self._generator.gi_running
+
     def interrupt(self) -> None:
         """Stop the process at its current wait point."""
         if self.done:
@@ -260,16 +272,22 @@ class BatchSchedule:
     """
 
     __slots__ = ("time", "seq", "callback", "cancelled", "_env", "_items",
-                 "_deliver", "_cursor")
+                 "_deliver", "_cursor", "_prelude")
 
     def __init__(self, env: "Environment",
                  items: list[tuple[float, Any]],
-                 deliver: Callable[[Any], None]) -> None:
+                 deliver: Callable[[Any], None],
+                 prelude: Callable[[list[Any]], None] | None = None) -> None:
         self._env = env
         # Stable sort: payloads with equal times keep caller order.
         self._items = sorted(items, key=lambda item: item[0])
         self._deliver = deliver
         self._cursor = 0
+        #: Optional per-group hook: called once with every payload of a
+        #: same-instant delivery group, *before* the group's deliveries.
+        #: Must be side-effect-free with respect to simulation semantics
+        #: (the gossip layer uses it to prime the verification cache).
+        self._prelude = prelude
         self.cancelled = False
         self.callback = self._fire
         self.time = self._items[0][0]
@@ -280,6 +298,12 @@ class BatchSchedule:
         cursor = self._cursor
         time = self.time
         n = len(items)
+        prelude = self._prelude
+        if prelude is not None:
+            end = cursor
+            while end < n and items[end][0] == time:
+                end += 1
+            prelude([items[k][1] for k in range(cursor, end)])
         while cursor < n and items[cursor][0] == time:
             payload = items[cursor][1]
             cursor += 1
@@ -346,12 +370,16 @@ class Environment:
         return timer
 
     def schedule_batch(self, items: list[tuple[float, Any]],
-                       deliver: Callable[[Any], None]) -> BatchSchedule:
+                       deliver: Callable[[Any], None],
+                       prelude: Callable[[list[Any]], None] | None = None,
+                       ) -> BatchSchedule:
         """Schedule ``deliver(payload)`` for each ``(delay, payload)``.
 
         One :class:`BatchSchedule` walks the whole batch with a single
         live heap entry; same-time payloads are delivered by one event.
         Delays are relative to :attr:`now` and must be non-negative.
+        ``prelude``, when given, runs once per same-instant delivery
+        group with the group's payloads, before its deliveries.
         """
         if not items:
             raise SimulationError("schedule_batch requires at least one item")
@@ -362,7 +390,7 @@ class Environment:
                 raise SimulationError(
                     f"cannot schedule in the past ({delay})")
             absolute.append((now + delay, payload))
-        batch = BatchSchedule(self, absolute, deliver)
+        batch = BatchSchedule(self, absolute, deliver, prelude)
         self._push(batch)
         return batch
 

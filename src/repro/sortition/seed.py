@@ -75,6 +75,12 @@ class SeedChain:
     def refresh_interval(self) -> int:
         return self._refresh_interval
 
+    def copy(self) -> "SeedChain":
+        """Independent clone (seeds are immutable bytes, list is copied)."""
+        clone = SeedChain(self._seeds[0], self._refresh_interval)
+        clone._seeds = list(self._seeds)
+        return clone
+
     def __len__(self) -> int:
         return len(self._seeds)
 

@@ -103,7 +103,8 @@ class SelectionStats:
     """
 
     __slots__ = ("proves", "prove_selected", "subusers_selected",
-                 "verifies", "verify_selected")
+                 "verifies", "verify_selected", "pool_evaluations",
+                 "pool_candidates", "pool_selected")
 
     def __init__(self) -> None:
         self.proves = 0
@@ -111,6 +112,13 @@ class SelectionStats:
         self.subusers_selected = 0
         self.verifies = 0
         self.verify_selected = 0
+        #: Vectorized pool pass (:mod:`repro.sortition.pool`): accounts
+        #: screened, screen survivors confirmed by the scalar oracle,
+        #: and confirmed winners. candidates/evaluations is the screen's
+        #: rejectivity; selected/candidates its (near-1) precision.
+        self.pool_evaluations = 0
+        self.pool_candidates = 0
+        self.pool_selected = 0
 
     def as_dict(self) -> dict[str, int]:
         return {
@@ -119,6 +127,9 @@ class SelectionStats:
             "subusers_selected": self.subusers_selected,
             "verifies": self.verifies,
             "verify_selected": self.verify_selected,
+            "pool_evaluations": self.pool_evaluations,
+            "pool_candidates": self.pool_candidates,
+            "pool_selected": self.pool_selected,
         }
 
     def delta_since(self, baseline: dict[str, int]) -> dict[str, int]:

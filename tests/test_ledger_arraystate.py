@@ -1,0 +1,179 @@
+"""Array-backed ledger state vs. the dict-backed reference.
+
+``ArrayState`` must be observationally identical to ``AccountState``
+for every caller — same accept/reject decisions, same balances, same
+``weights()`` mapping contents — while adding the pool-facing array
+view and shared immutable snapshots.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baplus.context import BAContext
+from repro.common.encoding import encode
+from repro.common.errors import LedgerError
+from repro.crypto.hashing import H
+from repro.ledger.account import AccountState
+from repro.ledger.arraystate import AccountIndex, ArrayState, ArrayWeights
+from repro.ledger.blockchain import Blockchain
+from repro.ledger.transaction import make_transaction
+
+
+@pytest.fixture
+def users(fast_backend):
+    keypairs = [fast_backend.keypair(H(b"arr-key", encode(i)))
+                for i in range(6)]
+    balances = {kp.public: 10 for kp in keypairs}
+    return keypairs, balances
+
+
+def make_tx(backend, sender, recipient, amount, nonce):
+    return make_transaction(backend, sender.secret, sender.public,
+                            recipient.public, amount, nonce)
+
+
+class TestAccountIndex:
+    def test_slots_are_stable_and_append_only(self):
+        index = AccountIndex([b"a", b"b"])
+        assert index.slot_of(b"a") == 0
+        assert index.slot_of(b"c") == 2
+        assert index.slot_of(b"a") == 0  # unchanged by later growth
+        assert index.get(b"missing") is None
+        assert len(index) == 3
+        assert index.key_of(1) == b"b"
+
+
+class TestEquivalence:
+    def test_random_transaction_streams(self, fast_backend, users):
+        keypairs, balances = users
+        rng = np.random.default_rng(0)
+        reference = AccountState(balances)
+        array = ArrayState(balances)
+        nonces = {kp.public: 0 for kp in keypairs}
+        for _ in range(60):
+            s, r = rng.choice(len(keypairs), size=2, replace=False)
+            sender, recipient = keypairs[s], keypairs[r]
+            amount = int(rng.integers(1, 7))
+            tx = make_tx(fast_backend, sender, recipient, amount,
+                         nonces[sender.public])
+            ref_err = arr_err = None
+            try:
+                reference.apply(tx)
+            except LedgerError as exc:
+                ref_err = str(exc)
+            try:
+                array.apply(tx)
+            except LedgerError as exc:
+                arr_err = str(exc)
+            assert (ref_err is None) == (arr_err is None)
+            if ref_err is None:
+                nonces[sender.public] += 1
+        assert dict(array.weights()) == dict(reference.weights())
+        # Iteration *content* is the contract, not order: after an
+        # account drains and refills, the dict view re-inserts it at
+        # the end while the array view keeps its stable slot. No
+        # weights consumer iterates order-sensitively (lookups and
+        # sums only), so the views are free to differ here.
+        assert (sorted(array.weights())
+                == sorted(reference.weights()))
+        assert array.total_weight == reference.total_weight
+        for kp in keypairs:
+            assert array.balance(kp.public) == reference.balance(kp.public)
+            assert (array.next_nonce(kp.public)
+                    == reference.next_nonce(kp.public))
+
+    def test_drained_accounts_leave_the_mapping(self, fast_backend, users):
+        keypairs, _ = users
+        a, b = keypairs[0], keypairs[1]
+        balances = {a.public: 3, b.public: 10}
+        reference = AccountState(balances)
+        array = ArrayState(balances)
+        tx = make_tx(fast_backend, a, b, 3, 0)
+        reference.apply(tx)
+        array.apply(tx)
+        assert a.public not in array.weights()
+        assert dict(array.weights()) == dict(reference.weights())
+        assert len(array.weights()) == len(reference.weights()) == 1
+
+    def test_copies_are_independent(self, fast_backend, users):
+        keypairs, balances = users
+        array = ArrayState(balances)
+        clone = array.copy()
+        tx = make_tx(fast_backend, keypairs[0], keypairs[1], 4, 0)
+        clone.apply(tx)
+        assert array.balance(keypairs[0].public) == 10
+        assert clone.balance(keypairs[0].public) == 6
+        # both resolve through the same shared index
+        assert clone.weights().index is array.weights().index
+
+
+class TestSnapshots:
+    def test_weights_cached_until_mutation(self, fast_backend, users):
+        keypairs, balances = users
+        for state in (AccountState(balances), ArrayState(balances)):
+            first = state.weights()
+            assert state.weights() is first  # shared, not rebuilt
+            tx = make_tx(fast_backend, keypairs[0], keypairs[1], 1, 0)
+            state.apply(tx)
+            second = state.weights()
+            assert second is not first
+            assert first[keypairs[0].public] == 10  # old snapshot intact
+            assert second[keypairs[0].public] == 9
+
+    def test_snapshots_are_immutable(self, users):
+        _, balances = users
+        for state in (AccountState(balances), ArrayState(balances)):
+            snapshot = state.weights()
+            with pytest.raises((TypeError, KeyError)):
+                snapshot[b"nope"] = 1  # type: ignore[index]
+        frozen = ArrayState(balances).weights().array
+        with pytest.raises(ValueError):
+            frozen[0] = 99
+
+    def test_chain_weight_history_shares_snapshots(self, users):
+        _, balances = users
+        chain = Blockchain(balances, H(b"genesis"), 1000)
+        assert chain.weights_at(0) is chain.weights_at(0)
+        assert dict(chain.weights_at(0)) == balances
+
+    def test_bacontext_adopts_frozen_mappings_without_copy(self, users):
+        _, balances = users
+        for state in (AccountState(balances), ArrayState(balances)):
+            weights = state.weights()
+            ctx = BAContext.from_weights(H(b"seed"), weights, b"prev")
+            assert ctx.weights is weights
+            assert ctx.total_weight == sum(balances.values())
+
+
+class TestArrayWeights:
+    def test_mapping_protocol(self):
+        index = AccountIndex([b"a", b"b", b"c"])
+        weights = ArrayWeights(index,
+                               np.array([5, 0, 7], dtype=np.int64))
+        assert weights[b"a"] == 5
+        assert weights.get(b"b") == 0 and b"b" not in weights
+        assert weights.get(b"zzz", -1) == -1
+        with pytest.raises(KeyError):
+            weights[b"b"]
+        assert list(weights) == [b"a", b"c"]
+        assert len(weights) == 2
+        assert weights.total == 12
+        assert weights.frozen
+
+
+class TestReplica:
+    def test_replica_is_cheap_and_independent(self, users):
+        _, balances = users
+        chain = Blockchain(balances, H(b"genesis"), 1000,
+                           state_factory=ArrayState)
+        replica = chain.replica()
+        assert replica.height == chain.height
+        assert replica.tip_hash == chain.tip_hash
+        assert replica.selection_seed(1) == chain.selection_seed(1)
+        # same shared immutable history, separate mutable state
+        assert replica.weights_at(0) is chain.weights_at(0)
+        assert replica.state is not chain.state
+        assert (replica.state.weights().index
+                is chain.state.weights().index)

@@ -152,7 +152,8 @@ class TestVerificationCache:
         cache = VerificationCache()
         assert cache.stats() == {"hits": 0, "misses": 0, "negative_hits": 0,
                                  "sort_hits": 0, "sort_misses": 0,
-                                 "hit_rate": 0.0, "entries": 0}
+                                 "hit_rate": 0.0, "entries": 0,
+                                 "batch_primed": 0}
 
     def test_max_entries_validated(self):
         with pytest.raises(ValueError):

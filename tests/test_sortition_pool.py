@@ -1,0 +1,138 @@
+"""Pool sortition vs. the per-user oracle.
+
+The aggregated population stands on one claim: the vectorized screen in
+:mod:`repro.sortition.pool` selects *exactly* the accounts the scalar
+per-user path selects, with bit-identical proofs and sub-user counts.
+These tests hammer that claim on random stake vectors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.common.errors import SortitionError
+from repro.crypto.backend import FastBackend
+from repro.crypto.hashing import H
+from repro.common.encoding import encode
+from repro.sortition.pool import pool_fractions, pool_select
+from repro.sortition.selection import (
+    SELECTION_STATS,
+    hash_to_fraction,
+    sortition,
+)
+
+
+def make_pool(backend, n, rng, max_weight=5):
+    secrets = []
+    for i in range(n):
+        kp = backend.keypair(H(b"pool-key", encode(int(i))))
+        secrets.append(kp.secret)
+    weights = rng.integers(0, max_weight + 1, size=n).astype(np.int64)
+    return secrets, weights
+
+
+def oracle_winners(backend, secrets, weights, tau, total, seed, role):
+    """The unchanged scalar path, run slot by slot."""
+    winners = {}
+    for slot, (secret, weight) in enumerate(zip(secrets, weights)):
+        if weight == 0:
+            continue
+        proof = sortition(backend, secret, seed, tau, role,
+                          int(weight), total)
+        if proof.j > 0:
+            winners[slot] = proof
+    return winners
+
+
+class TestOracleEquivalence:
+    @pytest.mark.parametrize("trial", range(8))
+    def test_pool_matches_per_user_path(self, trial):
+        backend = FastBackend()
+        rng = np.random.default_rng(1000 + trial)
+        secrets, weights = make_pool(backend, 48, rng)
+        total = int(weights.sum())
+        if total == 0:
+            pytest.skip("degenerate stake draw")
+        seed = H(b"seed", encode(trial))
+        role = b"role:" + bytes([trial])
+        tau = float(rng.integers(1, max(2, total)))
+        expected = oracle_winners(backend, secrets, weights, tau, total,
+                                  seed, role)
+        result = pool_select(backend, secrets, weights, tau, total,
+                             seed, role)
+        assert set(result.winners) == set(expected)
+        for slot, proof in result.winners.items():
+            assert proof == expected[slot]  # hash, proof, and exact j
+
+    def test_extreme_tau_selects_all_staked(self):
+        backend = FastBackend()
+        rng = np.random.default_rng(7)
+        secrets, weights = make_pool(backend, 20, rng)
+        total = int(weights.sum())
+        seed, role = H(b"s"), b"r"
+        result = pool_select(backend, secrets, weights, float(total * 2),
+                             total, seed, role)
+        staked = set(np.flatnonzero(weights).tolist())
+        # p >= 1: every staked account is a candidate AND a winner
+        # (B(0; w, 1) = 0 so any fraction clears it, j = w).
+        assert set(result.winners) == staked
+        assert result.candidates == len(staked)
+        for slot, proof in result.winners.items():
+            assert proof.j == weights[slot]
+
+    def test_zero_weight_slots_never_selected(self):
+        backend = FastBackend()
+        rng = np.random.default_rng(11)
+        secrets, weights = make_pool(backend, 30, rng)
+        weights[::2] = 0
+        total = int(weights.sum())
+        result = pool_select(backend, secrets, weights, 10.0, total,
+                             H(b"s"), b"r")
+        assert all(weights[slot] > 0 for slot in result.winners)
+        assert result.evaluated == int(np.count_nonzero(weights))
+
+
+class TestFractions:
+    def test_fractions_match_scalar_hash_path(self):
+        backend = FastBackend()
+        rng = np.random.default_rng(3)
+        secrets, weights = make_pool(backend, 16, rng)
+        alpha = H(b"alpha")
+        fractions = pool_fractions(backend, secrets, weights, alpha)
+        for slot, secret in enumerate(secrets):
+            if weights[slot] == 0:
+                assert np.isnan(fractions[slot])
+            else:
+                vrf_hash, _ = backend.vrf_prove(secret, alpha)
+                assert fractions[slot] == hash_to_fraction(vrf_hash)
+
+    def test_length_mismatch_rejected(self):
+        backend = FastBackend()
+        with pytest.raises(SortitionError):
+            pool_fractions(backend, [b"x" * 32], np.ones(2), H(b"a"))
+
+
+class TestStats:
+    def test_pool_counters_advance(self):
+        backend = FastBackend()
+        rng = np.random.default_rng(5)
+        secrets, weights = make_pool(backend, 25, rng)
+        total = int(weights.sum())
+        before = SELECTION_STATS.as_dict()
+        result = pool_select(backend, secrets, weights, 8.0, total,
+                             H(b"s"), b"r")
+        delta = SELECTION_STATS.delta_since(before)
+        assert delta["pool_evaluations"] == result.evaluated
+        assert delta["pool_candidates"] == result.candidates
+        assert delta["pool_selected"] == len(result.winners)
+
+    def test_invalid_inputs_rejected(self):
+        backend = FastBackend()
+        secrets, weights = make_pool(backend, 4,
+                                     np.random.default_rng(1))
+        with pytest.raises(SortitionError):
+            pool_select(backend, secrets, weights, 0.0,
+                        int(weights.sum()), H(b"s"), b"r")
+        with pytest.raises(SortitionError):
+            pool_select(backend, secrets, weights, 5.0, 0, H(b"s"), b"r")
