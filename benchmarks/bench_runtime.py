@@ -15,8 +15,11 @@ workload, recorded as ``obs_overhead``:
   dormant ``obs is not None`` guards present vs. surgically stripped
   (reference copies of the two hottest guarded methods monkeypatched
   in).
-* **tracing cost**: the same run with a live ``TraceBus`` vs. without,
-  plus a check that all three variants commit byte-identical chains.
+* **tracing cost**: the same run with a live ``TraceBus`` vs. without;
+* **conformance cost** (the "<10% over tracing" budget): tracing plus
+  the online :class:`repro.conformance.ConformanceMonitor` vs. tracing
+  alone — plus a check that all four variants commit byte-identical
+  chains.
 
 Methodology: each variant runs in a *fresh subprocess* and reports
 process CPU time, min of 2. Wall clock on a shared machine swings >15%
@@ -119,9 +122,13 @@ if mode == "stripped":
     MessageRouter.dispatch = dispatch_plain
 
 bus = None
-if mode == "enabled":
+if mode in ("enabled", "monitored"):
     from repro.obs import TraceBus
     bus = TraceBus()
+# "enabled" measures tracing alone; "monitored" additionally leaves the
+# auto-attached conformance monitor on (the default whenever a bus is
+# supplied), so monitored-vs-enabled is the reference machine's cost.
+conformance = "auto" if mode == "monitored" else False
 
 warm = Simulation(SimulationConfig(num_users=20, seed=2))
 warm.submit_payments(10)
@@ -130,7 +137,8 @@ del warm
 gc.collect()
 
 start = time.process_time()
-sim = Simulation(SimulationConfig(num_users=users, seed=seed), obs=bus)
+sim = Simulation(SimulationConfig(num_users=users, seed=seed,
+                                  conformance=conformance), obs=bus)
 sim.submit_payments(payments)
 sim.run_rounds(rounds)
 cpu = time.process_time() - start
@@ -144,6 +152,10 @@ out = {
 if bus is not None:
     out["trace_events"] = len(bus.events)
     out["metric_counters"] = len(bus.snapshot()["counters"])
+if sim.conformance is not None:
+    verdict = sim.conformance.verdict()
+    out["conformance_ok"] = verdict.ok
+    out["conformance_events"] = verdict.events_checked
 print(json.dumps(out))
 """
 
@@ -224,7 +236,7 @@ def _merge_result(update: dict) -> None:
 
 
 def test_obs_overhead(benchmark):
-    modes = ("stripped", "disabled", "enabled")
+    modes = ("stripped", "disabled", "enabled", "monitored")
 
     def _measure():
         runs = {mode: [] for mode in modes}
@@ -248,10 +260,14 @@ def test_obs_overhead(benchmark):
     cpu_stripped = best["stripped"]["cpu"]
     cpu_off = best["disabled"]["cpu"]
     cpu_on = best["enabled"]["cpu"]
+    cpu_monitored = best["monitored"]["cpu"]
     guard_cost = cpu_off / cpu_stripped - 1
     tracing_cost = cpu_on / cpu_off - 1
+    monitor_cost = cpu_monitored / cpu_on - 1
     trace_events = best["enabled"]["trace_events"]
     metric_counters = best["enabled"]["metric_counters"]
+    assert best["monitored"]["conformance_ok"], (
+        "benchmark run violated the reference machine")
     _merge_result({
         "obs_overhead": {
             "workload": {
@@ -265,8 +281,12 @@ def test_obs_overhead(benchmark):
             "stripped_cpu_seconds": round(cpu_stripped, 2),
             "disabled_cpu_seconds": round(cpu_off, 2),
             "enabled_cpu_seconds": round(cpu_on, 2),
+            "monitored_cpu_seconds": round(cpu_monitored, 2),
             "guard_overhead_disabled": round(guard_cost, 4),
             "tracing_overhead_enabled": round(tracing_cost, 4),
+            "monitor_overhead_vs_tracing": round(monitor_cost, 4),
+            "conformance_events_checked":
+                best["monitored"]["conformance_events"],
             "trace_events": trace_events,
             "metric_counters": metric_counters,
             "chains_identical": True,
@@ -281,7 +301,14 @@ def test_obs_overhead(benchmark):
         ["tracing on", f"{cpu_on:.2f} cpu-s",
          f"{tracing_cost:+.1%}; {trace_events} events, "
          f"{metric_counters} counters"],
+        ["conformance on", f"{cpu_monitored:.2f} cpu-s",
+         f"{monitor_cost:+.1%} vs tracing (budget <10%); "
+         f"{best['monitored']['conformance_events']} events checked"],
         ["chains identical", "yes", "instrumentation is a pure observer"],
     ]
     print_table("Observability overhead: 60 users x 3 rounds",
                 format_table(["metric", "value", "note"], rows))
+
+    assert monitor_cost < 0.10, (
+        f"conformance monitor overhead {monitor_cost:+.1%} exceeds the "
+        f"10% budget over tracing-only")

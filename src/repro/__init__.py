@@ -12,7 +12,9 @@ The package implements the paper's full stack:
 * :mod:`repro.baselines` — the Bitcoin/Nakamoto comparison baseline;
 * :mod:`repro.analysis` — committee sizing (Figure 3, Appendix B);
 * :mod:`repro.experiments` — runners for every figure/table in section 10;
-* :mod:`repro.obs` — tracing/metrics bus, JSONL export, trace-report CLI.
+* :mod:`repro.obs` — tracing/metrics bus, JSONL export, trace-report CLI;
+* :mod:`repro.conformance` — reference BA* state machine checked
+  against every trace, online and offline.
 
 Quickstart::
 

@@ -7,7 +7,7 @@ These are written as plain functions plus one generator
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.baplus.buffer import VoteBuffer
@@ -51,6 +51,12 @@ class BAParticipant:
     #: events tagged with ``node_id`` and update sortition counters.
     obs: "object | None" = None
     node_id: int | None = None
+    #: Open CountVotes intervals: ``(round, step) -> start time``.
+    #: Maintained only while ``obs`` is set; :func:`interrupt_open_steps`
+    #: closes them with an ``interrupted`` exit when the generators
+    #: holding them are killed (fail-stop crash, transient retirement),
+    #: so every step-termination path emits a matching ``step_exit``.
+    open_steps: dict[tuple[int, str], float] = field(default_factory=dict)
 
 
 def committee_vote(part: BAParticipant, ctx: BAContext, round_number: int,
@@ -122,10 +128,12 @@ def count_votes(part: BAParticipant, ctx: BAContext, round_number: int,
     if obs is not None:
         obs.emit("step_enter", node=part.node_id, round=round_number,
                  step=step, deadline_s=lam)
+        part.open_steps[(round_number, step)] = start
 
     def _done(result):
         timed_out = result is TIMEOUT
         if obs is not None:
+            part.open_steps.pop((round_number, step), None)
             obs.emit("step_exit", node=part.node_id, round=round_number,
                      step=step, seconds=env.now - start,
                      timed_out=timed_out,
@@ -153,6 +161,43 @@ def count_votes(part: BAParticipant, ctx: BAContext, round_number: int,
             part.buffer.signal(round_number, step).next_event(),
             env.timeout(remaining),
         ])
+
+
+#: Mirrors :data:`repro.node.recovery.RECOVERY_ROUND_BASE` by value
+#: (recovery sits above this module in the import graph). Recovery
+#: sessions are not killed by a fail-stop crash, so their open
+#: intervals must survive :func:`interrupt_open_steps`.
+_RECOVERY_ROUND_BASE = 1_000_000_000
+
+
+def interrupt_open_steps(part: BAParticipant, *,
+                         keep_at_or_above: int = _RECOVERY_ROUND_BASE
+                         ) -> None:
+    """Close interrupted CountVotes intervals with a ``step_exit``.
+
+    A generator killed at its wait point (``Process.interrupt()`` on a
+    crash or retirement) never reaches :func:`count_votes`'s own exit
+    emission; the killer calls this right after interrupting, so
+    per-step timings and the conformance machine always see closed
+    intervals. The exits carry ``interrupted=True`` and count as
+    neither a threshold success nor a timeout. Emission is explicit —
+    never from a generator ``finally`` — because GC-time generator
+    close is nondeterministic and would break trace reproducibility.
+
+    ``keep_at_or_above`` preserves recovery-lane intervals (their
+    sessions survive a crash and later finish their own counts).
+    """
+    obs = part.obs
+    if obs is None or not part.open_steps:
+        return
+    env = part.env
+    for round_number, step in sorted(part.open_steps):
+        if round_number >= keep_at_or_above:
+            continue
+        start = part.open_steps.pop((round_number, step))
+        obs.emit("step_exit", node=part.node_id, round=round_number,
+                 step=step, seconds=env.now - start, timed_out=False,
+                 interrupted=True)
 
 
 def common_coin(part: BAParticipant, ctx: BAContext, round_number: int,

@@ -46,6 +46,10 @@ class ChaosVerdict:
     converged: bool
     sim_seconds: float
     events_seen: int
+    #: Summary of the online reference-machine check (repro.conformance)
+    #: — its violations are merged into ``violations`` (prefixed
+    #: ``conformance:``) and gate ``ok`` like any invariant.
+    conformance: dict | None = None
     #: The live simulation, for tests and post-mortems; never serialized.
     sim: Simulation | None = field(default=None, repr=False, compare=False)
 
@@ -58,6 +62,7 @@ class ChaosVerdict:
             "converged": self.converged,
             "sim_seconds": self.sim_seconds,
             "events_seen": self.events_seen,
+            "conformance": self.conformance,
         }
 
     def to_json(self) -> str:
@@ -117,6 +122,24 @@ def run_scenario(script: ScenarioScript, *,
         violations.extend(audit_ingress(
             sim.nodes, sim.network, now=now,
             skip=skip | script.attacker_nodes()))
+    # The harness auto-attached a ConformanceMonitor (obs bus present):
+    # reference-machine breaches are scenario violations like any other.
+    conformance_section = None
+    if sim.conformance is not None:
+        conformance_verdict = sim.conformance.verdict()
+        conformance_section = {
+            "ok": conformance_verdict.ok,
+            "events_checked": conformance_verdict.events_checked,
+            "nodes": conformance_verdict.nodes,
+            "violations": len(conformance_verdict.violations),
+        }
+        for breach in conformance_verdict.violations:
+            violations.append(Violation(
+                invariant="conformance:" + breach["rule"],
+                t=breach["t"],
+                detail=(f"node {breach['node']} round {breach['round']} "
+                        f"step {breach['step']} ({breach['kind']} in "
+                        f"phase {breach['phase']}): {breach['detail']}")))
     laggards = [node.index for node in survivors
                 if node.chain.height < script.rounds]
     converged = not laggards
@@ -146,5 +169,6 @@ def run_scenario(script: ScenarioScript, *,
         converged=converged,
         sim_seconds=now,
         events_seen=monitor.events_seen,
+        conformance=conformance_section,
         sim=sim,
     )

@@ -1,0 +1,38 @@
+"""Trace-conformance harness: a reference BA* state machine.
+
+PRs 1-6 rewrote the hot path repeatedly with chain byte-identity as the
+main safety net; byte-identical chains can still hide wrong
+*intermediate* protocol behaviour. This package closes that gap:
+
+* :mod:`repro.conformance.machine` — a standalone, dependency-free
+  labelled transition system for one node's BA* protocol state, with
+  explicit legal-transition tables (see ``docs/CONFORMANCE.md``);
+* :mod:`repro.conformance.monitor` — :class:`ConformanceMonitor`, a
+  :class:`~repro.obs.bus.TraceSink` that checks every node's event
+  stream online as it is emitted and renders a deterministic
+  :class:`ConformanceVerdict`;
+* ``python -m repro.conformance trace.jsonl`` — the offline checker for
+  recorded JSONL traces (CI artifacts, old runs).
+
+The harness attaches a monitor automatically whenever a simulation has
+a trace bus (``SimulationConfig.conformance="auto"``); chaos scenario
+verdicts include conformance violations alongside the safety/liveness
+invariants.
+"""
+
+from repro.conformance.machine import (
+    NodeMachine,
+    PROTOCOL_EVENT_KINDS,
+    Violation,
+    step_order,
+)
+from repro.conformance.monitor import ConformanceMonitor, ConformanceVerdict
+
+__all__ = [
+    "ConformanceMonitor",
+    "ConformanceVerdict",
+    "NodeMachine",
+    "PROTOCOL_EVENT_KINDS",
+    "Violation",
+    "step_order",
+]

@@ -1,0 +1,101 @@
+"""Offline conformance checker for recorded JSONL traces.
+
+Usage::
+
+    python -m repro.conformance trace.jsonl [--verdict out.json]
+        [--require-complete] [--quiet]
+
+Replays every node's event stream through the reference BA* state
+machine and prints the verdict. Exit status: 0 when the trace conforms,
+1 on any violation (or, with ``--require-complete``, on an incomplete
+trace), 2 on usage errors. CI runs this against the recorded smoke
+traces and uploads the verdict JSON as an artifact.
+
+A trace that *lost events* (bounded bus with sinks attached after the
+bound, or a sink with ``max_records``) is flagged: the machine may then
+report artifacts of the loss rather than real bugs, and a clean verdict
+over an incomplete trace proves nothing. Completeness is read from the
+trace's snapshot record (``dropped_events`` / ``obs.sink_dropped``).
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+from repro.conformance.monitor import ConformanceMonitor
+from repro.obs.sink import read_trace
+
+
+def trace_losses(snapshot: dict | None) -> int:
+    """Events the recorded trace is known to be missing."""
+    if not snapshot:
+        return 0
+    dropped = int(snapshot.get("dropped_events", 0) or 0)
+    gauges = snapshot.get("gauges", {})
+    dropped += int(gauges.get("obs.sink_dropped", 0) or 0)
+    return dropped
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.conformance",
+        description="Check a recorded JSONL trace against the reference "
+                    "BA* state machine.")
+    parser.add_argument("trace", help="JSONL trace file to check")
+    parser.add_argument("--verdict", default=None,
+                        help="also write the verdict JSON to this path")
+    parser.add_argument("--require-complete", action="store_true",
+                        help="fail (exit 1) if the trace lost events")
+    parser.add_argument("--quiet", action="store_true",
+                        help="print only the one-line verdict")
+    args = parser.parse_args(argv)
+
+    path = Path(args.trace)
+    if not path.exists():
+        print(f"error: trace file {path} does not exist")
+        return 2
+    events, snapshot = read_trace(path)
+
+    monitor = ConformanceMonitor()
+    monitor.feed(events)
+    losses = trace_losses(snapshot)
+    complete = losses == 0
+    verdict = monitor.verdict(
+        trace_complete=complete or not args.require_complete)
+
+    status = "CONFORMS" if monitor.ok else "VIOLATIONS"
+    print(f"{path}: {status} — {verdict.events_checked} protocol events "
+          f"across {verdict.nodes} nodes, "
+          f"{len(monitor.violations)} violation(s)")
+    if not complete:
+        print(f"WARNING: trace is INCOMPLETE — {losses} event(s) were "
+              f"dropped before reaching this file; a clean verdict over "
+              f"a lossy trace is not a proof"
+              + (" (--require-complete: failing)"
+                 if args.require_complete else ""))
+    if not args.quiet:
+        for violation in monitor.violations[:50]:
+            print(f"  [{violation.rule}] t={violation.t:.2f} "
+                  f"node={violation.node} round={violation.round} "
+                  f"step={violation.step}: {violation.detail}")
+        if len(monitor.violations) > 50:
+            print(f"  ... and {len(monitor.violations) - 50} more")
+        open_steps = verdict.open_steps
+        if open_steps:
+            print(f"  open intervals at end of trace (informational): "
+                  f"{open_steps}")
+    if args.verdict:
+        Path(args.verdict).write_text(verdict.to_json() + "\n",
+                                      encoding="utf-8")
+        print(f"verdict written to {args.verdict}")
+
+    if not monitor.ok:
+        return 1
+    if args.require_complete and not complete:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

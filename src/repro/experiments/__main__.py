@@ -224,6 +224,11 @@ def run_tab_scalability() -> None:
           f"(paper: 4 and 13)")
 
 
+#: Set by ``--conformance`` in :func:`main`; makes the ``obs`` artifact
+#: print the reference-machine verdict after the trace report.
+_PRINT_CONFORMANCE = False
+
+
 def run_obs() -> None:
     from repro.experiments.harness import Simulation, SimulationConfig
     from repro.obs import TraceBus
@@ -244,6 +249,16 @@ def run_obs() -> None:
           f"(hit rate {cache['hit_rate']:.3f}, "
           f"{cache['negative_hits']} negative); "
           f"router unknown-kind drops: {summary['router_unknown_kinds']}")
+    if _PRINT_CONFORMANCE and sim.conformance is not None:
+        verdict = sim.conformance.verdict()
+        status = "CONFORMS" if verdict.ok else "VIOLATIONS"
+        print(f"\nconformance: {status} — {verdict.events_checked:,} "
+              f"events checked across {verdict.nodes} nodes, "
+              f"{len(verdict.violations)} violations")
+        for breach in verdict.violations[:10]:
+            print(f"  [{breach['rule']}] t={breach['t']:.3f} "
+                  f"node {breach['node']} round {breach['round']}: "
+                  f"{breach['detail']}")
 
 
 # ---------------------------------------------------------------------
@@ -463,6 +478,10 @@ def main(argv: list[str]) -> int:
             print("--jobs requires an integer argument")
             return 2
         argv = argv[:at] + argv[at + 2:]
+    if "--conformance" in argv:
+        global _PRINT_CONFORMANCE
+        _PRINT_CONFORMANCE = True
+        argv = [arg for arg in argv if arg != "--conformance"]
     requested = argv or list(ARTIFACTS)
     unknown = [name for name in requested if name not in ARTIFACTS]
     if unknown:

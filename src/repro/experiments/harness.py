@@ -26,6 +26,7 @@ from repro.ledger.blockchain import Blockchain
 from repro.ledger.transaction import make_transaction
 from repro.network.gossip import GossipNetwork
 from repro.network.latency import LatencyModel, UniformLatencyModel
+from repro.conformance.monitor import ConformanceMonitor
 from repro.node.agent import Node
 from repro.node.population import Population
 from repro.node.registry import BlockRegistry
@@ -116,6 +117,18 @@ class SimulationConfig:
     #: large enough to pay off); explicit ``True`` requires
     #: ``use_verification_cache``.
     batch_verify: bool | str = "auto"
+    #: Online conformance checking (:mod:`repro.conformance`): attach a
+    #: :class:`~repro.conformance.ConformanceMonitor` that replays every
+    #: node's event stream through the reference BA* state machine as
+    #: the run executes. ``"auto"`` (default) enables it exactly when a
+    #: trace bus is supplied — every traced run is checked for free.
+    #: ``True`` forces it even without a bus (a private, event-less bus
+    #: is created to feed the monitor); ``False`` disables it. The
+    #: monitor is a pure observer: committed chains are byte-identical
+    #: with it on or off. Violations never raise mid-run; read them from
+    #: ``sim.conformance.verdict()`` or the ``conformance`` section of
+    #: :meth:`Simulation.summary`.
+    conformance: bool | str = "auto"
 
     def batch_verify_enabled(self) -> bool:
         if self.batch_verify == "auto":
@@ -199,6 +212,10 @@ class SimulationConfig:
             raise ConfigError(
                 f"batch_verify must be True, False, or 'auto', "
                 f"got {self.batch_verify!r}")
+        if self.conformance not in (True, False, "auto"):
+            raise ConfigError(
+                f"conformance must be True, False, or 'auto', "
+                f"got {self.conformance!r}")
         if self.batch_verify is True and not self.use_verification_cache:
             raise ConfigError(
                 "batch_verify=True requires use_verification_cache "
@@ -234,6 +251,24 @@ class Simulation:
         if obs is not None:
             obs.bind_clock(lambda: self.env.now)
             obs.add_harvester(self._harvest_obs)
+        #: Online reference-machine checker (:mod:`repro.conformance`);
+        #: ``None`` when conformance is off for this run.
+        self.conformance: ConformanceMonitor | None = None
+        want_conformance = (config.conformance
+                            if isinstance(config.conformance, bool)
+                            else obs is not None)
+        if want_conformance:
+            if obs is None:
+                # conformance=True without a caller bus: instrument the
+                # stack through a private bus that stores no events
+                # (max_events=0) — the monitor sees the stream, memory
+                # does not grow, and chains are unaffected.
+                obs = TraceBus(max_events=0)
+                obs.bind_clock(lambda: self.env.now)
+                obs.add_harvester(self._harvest_obs)
+                self.obs = obs
+            self.conformance = ConformanceMonitor(registry=obs.metrics)
+            obs.add_sink(self.conformance)
         self._selection_baseline = SELECTION_STATS.as_dict()
         # Captured at the end of each run_rounds: the process-global
         # sortition tallies keep growing across simulations, so the
@@ -533,6 +568,8 @@ class Simulation:
         if self.population is not None:
             for name, value in self.population.stats().items():
                 metrics.set_gauge("population." + name, value)
+        if self.conformance is not None:
+            self.conformance.harvest(metrics)
         metrics.set_counter("router.unknown_kind", sum(
             node.router.unknown_kinds for node in self.nodes))
         for name, value in self._selection_delta.items():
@@ -617,6 +654,13 @@ class Simulation:
                     self.quarantine_directory.quarantined),
                 "banned": sorted(self.quarantine_directory.banned),
                 "quarantines": self.quarantine_directory.quarantines,
+            }
+        if self.conformance is not None:
+            verdict = self.conformance.verdict()
+            result["conformance"] = {
+                "ok": verdict.ok,
+                "events_checked": verdict.events_checked,
+                "violations": len(verdict.violations),
             }
         if self.obs is not None:
             result["obs"] = self.obs.snapshot()

@@ -32,7 +32,12 @@ from repro.baplus.protocol import (
     binary_ba_star,
     reduction,
 )
-from repro.baplus.voting import BAParticipant, TIMEOUT, count_votes
+from repro.baplus.voting import (
+    BAParticipant,
+    TIMEOUT,
+    count_votes,
+    interrupt_open_steps,
+)
 from repro.common.errors import ConsensusHalted, InvalidBlock, SimulationError
 from repro.common.params import ProtocolParams
 from repro.crypto.backend import CryptoBackend, KeyPair
@@ -268,6 +273,11 @@ class Node:
         if self.admission is not None:
             self.admission.reset()
         if self.obs is not None:
+            # Close the intervals the killed generators held (recovery
+            # lanes excepted — their sessions outlive a crash) before
+            # announcing the crash, so the trace shows every step
+            # closed at the instant its process died.
+            interrupt_open_steps(self.participant)
             self.obs.emit("node_crashed", node=self.index,
                           round=self.chain.next_round)
 

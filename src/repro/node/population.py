@@ -51,6 +51,7 @@ from typing import Callable, Mapping
 
 import numpy as np
 
+from repro.baplus.voting import interrupt_open_steps
 from repro.common.errors import ConfigError
 from repro.common.params import ProtocolParams
 from repro.crypto.backend import CryptoBackend, KeyPair
@@ -182,6 +183,10 @@ class Population:
         node._background.clear()
         node.buffer.clear()
         if self.obs is not None:
+            # Close whatever step intervals the interrupted processes
+            # held before announcing the retirement (conformance and
+            # per-step timings require closed intervals).
+            interrupt_open_steps(node.participant)
             self.obs.emit("agent_retired", node=slot,
                           height=node.chain.height)
 

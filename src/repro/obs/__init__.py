@@ -15,6 +15,13 @@ bus pays one attribute check per instrumented site.
 """
 
 from repro.obs.bus import TraceBus
+from repro.obs.events import (
+    EVENT_KINDS,
+    EventKind,
+    EventSchemaError,
+    register_event_kind,
+    validate_record,
+)
 from repro.obs.metrics import HistogramSummary, MetricsRegistry
 from repro.obs.sink import JsonlTraceSink, read_trace
 
@@ -24,4 +31,9 @@ __all__ = [
     "HistogramSummary",
     "JsonlTraceSink",
     "read_trace",
+    "EVENT_KINDS",
+    "EventKind",
+    "EventSchemaError",
+    "register_event_kind",
+    "validate_record",
 ]

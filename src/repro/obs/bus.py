@@ -33,6 +33,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Protocol
 
+from repro.obs.events import validate_record, validation_default
 from repro.obs.metrics import MetricsRegistry
 
 
@@ -52,13 +53,21 @@ class TraceBus:
     """Structured event stream + metrics registry for one simulation."""
 
     __slots__ = ("metrics", "events", "max_events", "dropped_events",
-                 "_clock", "_sinks", "_harvesters", "closed")
+                 "_clock", "_sinks", "_harvesters", "closed", "validate")
 
     def __init__(self, *, registry: MetricsRegistry | None = None,
-                 max_events: int = 1_000_000) -> None:
+                 max_events: int = 1_000_000,
+                 validate: bool | None = None) -> None:
         if max_events < 0:
             raise ValueError("max_events must be >= 0")
         self.metrics = registry if registry is not None else MetricsRegistry()
+        #: Check every emitted record against the
+        #: :data:`repro.obs.events.EVENT_KINDS` catalogue. ``None``
+        #: resolves from the ``REPRO_OBS_VALIDATE`` environment variable
+        #: (off by default — the emit path is hot, and ad-hoc kinds are
+        #: legitimate in unit tests).
+        self.validate = (validation_default() if validate is None
+                         else validate)
         #: In-memory event records, in emission order (bounded).
         self.events: list[dict] = []
         self.max_events = max_events
@@ -102,6 +111,8 @@ class TraceBus:
             record["step"] = step
         if fields:
             record.update(fields)
+        if self.validate:
+            validate_record(record)
         if len(self.events) < self.max_events:
             self.events.append(record)
         else:
@@ -118,6 +129,13 @@ class TraceBus:
         """Run harvesters, then return the registry snapshot."""
         for harvester in self._harvesters:
             harvester(self)
+        sink_dropped = sum(getattr(sink, "dropped", 0)
+                           for sink in self._sinks)
+        if sink_dropped:
+            # A sink that sheds records makes the persisted trace an
+            # unsound input for offline analysis (conformance, reports);
+            # surface the loss as a first-class gauge.
+            self.metrics.set_gauge("obs.sink_dropped", sink_dropped)
         snapshot = self.metrics.snapshot()
         if self.dropped_events:
             snapshot["dropped_events"] = self.dropped_events

@@ -96,11 +96,13 @@ def step_timings(events: list[dict]) -> list[dict]:
         exits = by_step[step]
         seconds = [e["seconds"] for e in exits]
         timeouts = sum(1 for e in exits if e["timed_out"])
+        interrupted = sum(1 for e in exits if e.get("interrupted"))
         rows.append({
             "step": step,
             "samples": len(exits),
-            "threshold_reached": len(exits) - timeouts,
+            "threshold_reached": len(exits) - timeouts - interrupted,
             "timeouts": timeouts,
+            "interrupted": interrupted,
             "mean_s": _mean(seconds),
             "max_s": max(seconds) if seconds else 0.0,
         })
@@ -127,9 +129,25 @@ def traffic_by_kind(counters: dict[str, int | float]) -> list[dict]:
     return rows
 
 
+def trace_losses(snapshot: dict | None) -> tuple[int, int]:
+    """(ring-buffer drops, sink drops) recorded in the trace snapshot."""
+    if snapshot is None:
+        return (0, 0)
+    return (snapshot.get("dropped_events", 0),
+            int(snapshot.get("gauges", {}).get("obs.sink_dropped", 0)))
+
+
 def render_report(events: list[dict], snapshot: dict | None) -> str:
     """The full report as one printable string."""
     sections: list[str] = []
+
+    ring_dropped, sink_dropped = trace_losses(snapshot)
+    if ring_dropped or sink_dropped:
+        sections.append(
+            "!! INCOMPLETE TRACE: "
+            f"{ring_dropped} events dropped by the in-memory ring buffer, "
+            f"{sink_dropped} dropped by bounded sinks — every aggregate "
+            "below undercounts; re-record with higher limits !!\n")
 
     segment_rows = round_segments(events)
     sections.append("== Per-round segments (seconds, mean across nodes) ==")
@@ -150,9 +168,10 @@ def render_report(events: list[dict], snapshot: dict | None) -> str:
     sections.append("\n== BA* step timings ==")
     if step_rows:
         sections.append(_table(
-            ["step", "samples", "threshold", "timeout", "mean_s", "max_s"],
+            ["step", "samples", "threshold", "timeout", "interrupted",
+             "mean_s", "max_s"],
             [[r["step"], r["samples"], r["threshold_reached"], r["timeouts"],
-              f"{r['mean_s']:.3f}", f"{r['max_s']:.3f}"]
+              r["interrupted"], f"{r['mean_s']:.3f}", f"{r['max_s']:.3f}"]
              for r in step_rows]))
     else:
         sections.append("(no step_exit events in trace)")

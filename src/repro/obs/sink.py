@@ -32,17 +32,30 @@ class JsonlTraceSink:
     of ``buffer_lines`` entries, so a hot emitter costs one ``dumps``
     and a list append per event rather than a syscall. The buffer is
     flushed when full, on :meth:`write_snapshot`, and on :meth:`close`.
+
+    ``max_records`` optionally bounds the file: event records beyond the
+    bound are **counted, not written** — :attr:`dropped` reports the
+    loss, the bus surfaces it as the ``obs.sink_dropped`` gauge, and the
+    report/conformance CLIs warn that such a trace is incomplete. The
+    snapshot record is always written (it carries the loss accounting).
+    ``None`` (the default) keeps the file unbounded.
     """
 
-    def __init__(self, path: str | Path, *, buffer_lines: int = 1024) -> None:
+    def __init__(self, path: str | Path, *, buffer_lines: int = 1024,
+                 max_records: int | None = None) -> None:
         if buffer_lines < 1:
             raise ValueError("buffer_lines must be >= 1")
+        if max_records is not None and max_records < 0:
+            raise ValueError("max_records must be >= 0 or None")
         self.path = Path(path)
         self.buffer_lines = buffer_lines
+        self.max_records = max_records
         self._buffer: list[str] = []
         self._file: IO[str] | None = self.path.open("w", encoding="utf-8")
         #: Total records written (events + snapshot).
         self.records_written = 0
+        #: Event records shed because ``max_records`` was reached.
+        self.dropped = 0
 
     def _write(self, record: dict) -> None:
         if self._file is None:
@@ -54,6 +67,10 @@ class JsonlTraceSink:
             self.flush()
 
     def write_event(self, record: dict) -> None:
+        if (self.max_records is not None
+                and self.records_written >= self.max_records):
+            self.dropped += 1
+            return
         self._write({"type": "event", **record})
 
     def write_snapshot(self, snapshot: dict) -> None:

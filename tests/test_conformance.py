@@ -1,0 +1,437 @@
+"""Conformance harness tests: clean runs conform, mutations are caught.
+
+Four angles on :mod:`repro.conformance`:
+
+* clean seeded deployments (full and aggregated populations) produce
+  zero violations, online and through the offline CLI round-trip;
+* hand-mutated traces trip exactly the named rule the mutation breaks
+  (skipped step, commit without quorum, vote after halt);
+* the crash path closes every open step interval with an explicit
+  ``interrupted`` step_exit (the stalling-committee regression);
+* the event catalogue is authoritative: every literal emit site in
+  ``src/`` uses a registered kind, and ``TraceBus(validate=True)``
+  rejects malformed records while accepting a whole simulation's worth
+  of real ones.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.chaos import generate_scenario, run_scenario
+from repro.conformance import ConformanceMonitor, NodeMachine
+from repro.conformance.__main__ import main as conformance_main
+from repro.experiments.harness import Simulation, SimulationConfig
+from repro.obs import (
+    EVENT_KINDS,
+    EventSchemaError,
+    JsonlTraceSink,
+    TraceBus,
+    read_trace,
+)
+from repro.obs.report import render_report, step_timings, trace_losses
+
+USERS = 10
+ROUNDS = 3
+SEED = 7
+
+
+def _run(config: SimulationConfig) -> tuple[Simulation, TraceBus]:
+    bus = TraceBus()
+    sim = Simulation(config, obs=bus)
+    sim.submit_payments(12)
+    sim.run_rounds(ROUNDS)
+    return sim, bus
+
+
+@pytest.fixture(scope="module")
+def clean_run():
+    return _run(SimulationConfig(num_users=USERS, seed=SEED))
+
+
+@pytest.fixture(scope="module")
+def clean_events(clean_run):
+    _, bus = clean_run
+    return bus.events
+
+
+def _check(events) -> ConformanceMonitor:
+    monitor = ConformanceMonitor()
+    monitor.feed(events)
+    return monitor
+
+
+def _rules(monitor: ConformanceMonitor) -> set[str]:
+    return {violation.rule for violation in monitor.violations}
+
+
+class TestCleanTraces:
+    def test_seeded_sim_conforms_online(self, clean_run):
+        sim, _ = clean_run
+        verdict = sim.conformance.verdict()
+        assert verdict.ok, verdict.violations
+        assert verdict.events_checked > 0
+        assert verdict.nodes == USERS
+        summary = sim.summary()
+        assert summary["conformance"]["ok"]
+        assert summary["conformance"]["violations"] == 0
+
+    def test_conformance_counters_in_snapshot(self, clean_run):
+        _, bus = clean_run
+        snapshot = bus.snapshot()
+        assert snapshot["counters"]["conformance.events_checked"] > 0
+        assert snapshot["counters"].get("conformance.violations", 0) == 0
+        assert snapshot["gauges"]["conformance.nodes"] == USERS
+
+    def test_aggregated_population_conforms(self):
+        # Small core + dormant stake: real materialize/retire churn, so
+        # the machine's RETIRED phase and self-retirement commit grace
+        # are actually exercised (mirrors test_population's dormancy
+        # configuration).
+        from repro.common.params import TEST_PARAMS
+        bus = TraceBus()
+        sim = Simulation(SimulationConfig(
+            num_users=150, initial_balance=1, seed=2,
+            params=TEST_PARAMS.scaled(0.1),
+            population="aggregated", always_on_core=8,
+            steps_ahead=6), obs=bus)
+        sim.run_rounds(2)
+        verdict = sim.conformance.verdict()
+        assert verdict.ok, verdict.violations
+        # Retirement events flow through the machine's grace path.
+        assert bus.events_of_kind("agent_retired")
+
+    def test_offline_cli_round_trip(self, clean_events, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        sink = JsonlTraceSink(trace)
+        for event in clean_events:
+            sink.write_event(event)
+        sink.write_snapshot({"counters": {}, "gauges": {}})
+        sink.close()
+        verdict_path = tmp_path / "verdict.json"
+        code = conformance_main([str(trace), "--verdict",
+                                 str(verdict_path), "--require-complete"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "CONFORMS" in out
+        verdict = json.loads(verdict_path.read_text())
+        assert verdict["ok"] is True
+        assert verdict["violations"] == []
+        assert verdict["trace_complete"] is True
+
+    def test_offline_cli_missing_file(self, tmp_path):
+        assert conformance_main([str(tmp_path / "absent.jsonl")]) == 2
+
+    def test_monitor_is_pure_observer(self):
+        def chain(conformance):
+            sim = Simulation(SimulationConfig(
+                num_users=8, seed=3, conformance=conformance))
+            sim.submit_payments(8)
+            sim.run_rounds(2)
+            return [sim.nodes[0].chain.block_at(r).block_hash
+                    for r in range(1, 3)]
+
+        assert chain(True) == chain(False)
+
+    def test_conformance_knob_validation(self):
+        with pytest.raises(Exception):
+            SimulationConfig(num_users=8, conformance="yes").validate()
+
+    def test_forced_conformance_without_bus(self):
+        sim = Simulation(SimulationConfig(
+            num_users=8, seed=3, conformance=True))
+        sim.run_rounds(1)
+        assert sim.conformance is not None
+        assert sim.conformance.verdict().ok
+
+    def test_conformance_off(self):
+        sim = Simulation(SimulationConfig(
+            num_users=8, seed=3, conformance=False), obs=TraceBus())
+        sim.run_rounds(1)
+        assert sim.conformance is None
+        assert "conformance" not in sim.summary()
+
+
+class TestNegativeTraces:
+    """Each mutation trips the specific rule it breaks — not a generic
+    failure, the *named* violation from the transition tables."""
+
+    def _node_round(self, events, node=0, round_number=1):
+        return [e for e in events
+                if e.get("node") == node and e.get("round") == round_number]
+
+    def test_skipped_step_is_caught(self, clean_events):
+        mutated = [e for e in clean_events
+                   if not (e.get("node") == 0 and e.get("round") == 1
+                           and e.get("step") == "reduction_one"
+                           and e["kind"] in ("step_enter", "step_exit"))]
+        monitor = _check(mutated)
+        assert "commit-skipped-step" in _rules(monitor)
+
+    def test_commit_without_quorum_is_caught(self, clean_events):
+        commit = next(e for e in clean_events
+                      if e["kind"] == "round_commit"
+                      and e["node"] == 0 and e["round"] == 1)
+        deciding = str(commit["binary_steps"])
+        mutated = []
+        for event in clean_events:
+            if (event["kind"] == "step_exit" and event["node"] == 0
+                    and event["round"] == 1
+                    and event["step"] == deciding):
+                event = dict(event, timed_out=True)
+            mutated.append(event)
+        monitor = _check(mutated)
+        assert "commit-without-quorum" in _rules(monitor)
+
+    def test_vote_after_halt_is_caught(self):
+        machine = NodeMachine(0)
+        violations = []
+        for event in [
+            {"kind": "round_start", "t": 0.0, "node": 0, "round": 1},
+            {"kind": "proposal_resolved", "t": 1.0, "node": 0, "round": 1},
+            {"kind": "consensus_halted", "t": 2.0, "node": 0, "round": 1},
+            {"kind": "vote_cast", "t": 3.0, "node": 0, "round": 1,
+             "step": "1"},
+        ]:
+            violations.extend(machine.feed(event))
+        assert [v.rule for v in violations] == ["vote-phase"]
+
+    def test_duplicate_commit_is_caught(self, clean_events):
+        mutated = list(clean_events)
+        commit_at = next(i for i, e in enumerate(mutated)
+                         if e["kind"] == "round_commit" and e["node"] == 0)
+        mutated.insert(commit_at + 1, dict(mutated[commit_at]))
+        monitor = _check(mutated)
+        assert "commit-phase" in _rules(monitor)
+
+    def test_out_of_order_steps_are_caught(self):
+        machine = NodeMachine(0)
+        violations = []
+        for event in [
+            {"kind": "round_start", "t": 0.0, "node": 0, "round": 1},
+            {"kind": "proposal_resolved", "t": 1.0, "node": 0, "round": 1},
+            {"kind": "step_enter", "t": 2.0, "node": 0, "round": 1,
+             "step": "reduction_two", "deadline_s": 3.0},
+        ]:
+            violations.extend(machine.feed(event))
+        assert [v.rule for v in violations] == ["step-order"]
+
+    def test_violation_context_is_complete(self, clean_events):
+        mutated = [e for e in clean_events
+                   if not (e.get("node") == 0 and e.get("round") == 1
+                           and e.get("step") == "reduction_one"
+                           and e["kind"] in ("step_enter", "step_exit"))]
+        monitor = _check(mutated)
+        breach = next(v for v in monitor.violations
+                      if v.rule == "commit-skipped-step")
+        assert breach.node == 0
+        assert breach.round == 1
+        assert breach.kind == "round_commit"
+        assert "reduction_one" in breach.detail
+
+    def test_verdict_caps_violations(self, clean_events):
+        # Feed the mutated trace into a tiny-capped monitor: recording
+        # stops, checking does not, and the verdict says so.
+        mutated = [e for e in clean_events if e["kind"] != "step_exit"]
+        monitor = ConformanceMonitor(max_violations=2)
+        monitor.feed(mutated)
+        verdict = monitor.verdict()
+        assert not verdict.ok
+        assert verdict.violations[-1]["rule"] == "violations-truncated"
+
+
+class TestCrashClosesSteps:
+    """Satellite (c): every step-termination path emits step_exit.
+
+    The regression this pins: a node crashed mid-committee-wait used to
+    leave its ``step_enter`` dangling forever, so per-step timing
+    aggregations silently undercounted and a stalled committee was
+    indistinguishable from a trace artifact.
+    """
+
+    def _crash_mid_step(self):
+        bus = TraceBus()
+        sim = Simulation(SimulationConfig(num_users=8, seed=9), obs=bus)
+        for node in sim.nodes:
+            node.start(2)
+        sim.env.run(until=2.0)  # node 1 is inside reduction_one (seeded)
+        monitor = _check(bus.events)
+        assert monitor.open_steps().get("1"), \
+            "fixture drift: node 1 must be mid-step at t=2.0"
+        sim.nodes[1].crash()
+        return sim, bus
+
+    def test_crash_emits_interrupted_step_exit(self):
+        _, bus = self._crash_mid_step()
+        closing = [e for e in bus.events
+                   if e["kind"] == "step_exit" and e["node"] == 1
+                   and e.get("interrupted")]
+        assert closing, "crash left the open step without a step_exit"
+        assert all(e["timed_out"] is False for e in closing)
+
+    def test_every_enter_has_an_exit_after_crash(self):
+        _, bus = self._crash_mid_step()
+        enters = [(e["round"], e["step"]) for e in bus.events
+                  if e["kind"] == "step_enter" and e["node"] == 1]
+        exits = [(e["round"], e["step"]) for e in bus.events
+                 if e["kind"] == "step_exit" and e["node"] == 1]
+        assert sorted(enters) == sorted(exits)
+
+    def test_crashed_trace_conforms(self):
+        _, bus = self._crash_mid_step()
+        monitor = _check(bus.events)
+        assert monitor.ok, [v.to_dict() for v in monitor.violations]
+        assert not monitor.open_steps().get("1")
+
+    def test_interrupted_exits_counted_separately_in_report(self):
+        _, bus = self._crash_mid_step()
+        rows = {r["step"]: r for r in step_timings(bus.events)}
+        interrupted = sum(r["interrupted"] for r in rows.values())
+        assert interrupted >= 1
+        for row in rows.values():
+            assert (row["threshold_reached"] + row["timeouts"]
+                    + row["interrupted"]) == row["samples"]
+
+
+class TestEventCatalogue:
+    """Satellite (a): the catalogue is the single source of truth."""
+
+    def test_every_emit_site_uses_a_registered_kind(self):
+        src = Path(__file__).resolve().parent.parent / "src"
+        pattern = re.compile(r'\.emit\(\s*"([^"]+)"')
+        unregistered = []
+        for path in sorted(src.rglob("*.py")):
+            for match in pattern.finditer(path.read_text()):
+                kind = match.group(1)
+                if kind not in EVENT_KINDS:
+                    unregistered.append((str(path), kind))
+        # chaos.faults._emit passes its kind through a variable; it is
+        # covered by the fault_applied/fault_cleared catalogue entries
+        # and by the validating-bus simulation test below.
+        assert not unregistered, unregistered
+
+    def test_fault_kinds_are_registered_for_the_indirect_site(self):
+        assert "fault_applied" in EVENT_KINDS
+        assert "fault_cleared" in EVENT_KINDS
+
+    def test_validating_bus_rejects_unknown_kind(self):
+        bus = TraceBus(validate=True)
+        with pytest.raises(EventSchemaError, match="unregistered"):
+            bus.emit("no_such_kind", node=0)
+
+    def test_validating_bus_rejects_missing_fields(self):
+        bus = TraceBus(validate=True)
+        with pytest.raises(EventSchemaError, match="round"):
+            bus.emit("round_start", node=0)
+
+    def test_validating_bus_accepts_extras(self):
+        bus = TraceBus(validate=True)
+        bus.emit("round_start", node=0, round=1, note="extra ok")
+        assert bus.events[-1]["note"] == "extra ok"
+
+    def test_default_bus_does_not_validate(self):
+        bus = TraceBus()
+        bus.emit("ad_hoc_test_kind", whatever=1)  # must not raise
+        assert bus.events[-1]["kind"] == "ad_hoc_test_kind"
+
+    def test_full_simulation_passes_validation(self):
+        # Every record a real deployment emits satisfies its schema —
+        # this also covers the non-literal chaos emit site.
+        bus = TraceBus(validate=True)
+        sim = Simulation(SimulationConfig(num_users=8, seed=3), obs=bus)
+        sim.submit_payments(8)
+        sim.run_rounds(2)
+        assert bus.events
+
+    def test_chaos_run_passes_validation(self):
+        from repro.chaos import FaultAction, ScenarioScript
+        from repro.chaos.faults import FaultInjector
+        bus = TraceBus(validate=True)
+        script = ScenarioScript(
+            name="validate", seed=4, num_users=8, rounds=1,
+            actions=(FaultAction(kind="loss", start=0.5, end=2.0,
+                                 rate=0.1),))
+        sim = Simulation(SimulationConfig(num_users=8, seed=4), obs=bus)
+        FaultInjector(sim, script).install()
+        sim.run_rounds(1)
+        kinds = {e["kind"] for e in bus.events}
+        assert "fault_applied" in kinds
+
+
+class TestSinkOverflow:
+    """Satellite (b): bounded sinks drop loudly, never silently."""
+
+    def test_bounded_sink_counts_drops(self, tmp_path):
+        bus = TraceBus()
+        sink = JsonlTraceSink(tmp_path / "t.jsonl", max_records=3)
+        bus.add_sink(sink)
+        for i in range(8):
+            bus.emit("round_start", node=0, round=i)
+        snapshot = bus.close()
+        assert sink.dropped == 5
+        assert snapshot["gauges"]["obs.sink_dropped"] == 5
+        events, stored = read_trace(tmp_path / "t.jsonl")
+        assert len(events) == 3
+        assert stored["gauges"]["obs.sink_dropped"] == 5
+
+    def test_report_warns_on_incomplete_trace(self, tmp_path):
+        bus = TraceBus()
+        bus.add_sink(JsonlTraceSink(tmp_path / "t.jsonl", max_records=2))
+        for i in range(5):
+            bus.emit("round_start", node=0, round=i)
+        bus.close()
+        events, snapshot = read_trace(tmp_path / "t.jsonl")
+        assert trace_losses(snapshot) == (0, 3)
+        report = render_report(events, snapshot)
+        assert "INCOMPLETE TRACE" in report
+
+    def test_report_silent_on_complete_trace(self, clean_events, clean_run):
+        _, bus = clean_run
+        report = render_report(clean_events, bus.snapshot())
+        assert "INCOMPLETE TRACE" not in report
+
+    def test_offline_checker_flags_incomplete(self, tmp_path, capsys):
+        bus = TraceBus()
+        bus.add_sink(JsonlTraceSink(tmp_path / "t.jsonl", max_records=1))
+        bus.emit("round_start", node=0, round=1)
+        bus.emit("proposal_resolved", node=0, round=1, empty=False,
+                 waited_s=0.1)
+        bus.close()
+        code = conformance_main([str(tmp_path / "t.jsonl"),
+                                 "--require-complete"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "INCOMPLETE" in out
+
+    def test_sink_rejects_negative_bound(self, tmp_path):
+        with pytest.raises(Exception):
+            JsonlTraceSink(tmp_path / "t.jsonl", max_records=-1)
+
+
+class TestChaosConformance:
+    """Satellite (d): the chaos engine gates on conformance too."""
+
+    def test_generated_scenarios_carry_conformance_section(self,
+                                                           chaos_seeds):
+        for seed in chaos_seeds[:3]:
+            verdict = run_scenario(generate_scenario(seed))
+            assert verdict.conformance is not None
+            assert verdict.conformance["ok"], verdict.violations
+            assert verdict.conformance["violations"] == 0
+            assert verdict.conformance["events_checked"] > 0
+            assert "conformance" in json.loads(verdict.to_json())
+
+    @pytest.mark.slow
+    def test_twenty_seed_sweep_is_conformant(self, chaos_seeds):
+        assert len(chaos_seeds) >= 20
+        failures = []
+        for seed in chaos_seeds:
+            verdict = run_scenario(generate_scenario(seed))
+            if (verdict.conformance is None
+                    or not verdict.conformance["ok"]):
+                failures.append((seed, verdict.violations))
+        assert not failures, failures
