@@ -17,6 +17,7 @@ re-running the same script yields byte-identical JSON (tested).
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 
 from repro.chaos.faults import FaultInjector
@@ -80,8 +81,16 @@ def _derive_time_limit(script: ScenarioScript) -> float:
 
 
 def run_scenario(script: ScenarioScript, *,
-                 trace_path: str | None = None) -> ChaosVerdict:
-    """Run ``script`` and return its verdict (never raises on red)."""
+                 trace_path: str | None = None,
+                 sim_overrides: dict | None = None) -> ChaosVerdict:
+    """Run ``script`` and return its verdict (never raises on red).
+
+    ``sim_overrides`` replaces fields of the derived
+    :class:`SimulationConfig` (e.g. ``{"relay_damping": False}`` or
+    ``{"bandwidth_bps": None}``) — the damping-equivalence suite runs
+    the same scenario under several deployments this way. Scenario
+    fields (``num_users``, ``seed``) stay script-owned.
+    """
     script.validate()
     bus = TraceBus()
     monitor = InvariantMonitor(liveness_bound=script.liveness_bound,
@@ -90,8 +99,11 @@ def run_scenario(script: ScenarioScript, *,
     if trace_path is not None:
         bus.add_sink(JsonlTraceSink(trace_path))
 
-    sim = Simulation(SimulationConfig(num_users=script.num_users,
-                                      seed=script.seed), obs=bus)
+    config = SimulationConfig(num_users=script.num_users,
+                              seed=script.seed)
+    if sim_overrides:
+        config = dataclasses.replace(config, **sim_overrides)
+    sim = Simulation(config, obs=bus)
     injector = FaultInjector(sim, script)
     injector.install()
     if script.payments:

@@ -224,6 +224,12 @@ def run_tab_scalability() -> None:
           f"(paper: 4 and 13)")
 
 
+def run_traffic_artifact() -> None:
+    """Census grid + 200-user scale point; writes BENCH_traffic.json."""
+    from repro.experiments.traffic import run_traffic
+    run_traffic()
+
+
 #: Set by ``--conformance`` in :func:`main`; makes the ``obs`` artifact
 #: print the reference-machine verdict after the trace report.
 _PRINT_CONFORMANCE = False
@@ -333,6 +339,9 @@ _ARTIFACT_LIST = [
              runner=run_tab_scalability),
     Artifact("obs", "Observability: traced 2-round deployment + report",
              runner=run_obs),
+    Artifact("traffic",
+             "Traffic census: analytical vs observed messages per round",
+             runner=run_traffic_artifact),
 ]
 
 ARTIFACTS: dict[str, Artifact] = {a.name: a for a in _ARTIFACT_LIST}

@@ -38,6 +38,7 @@ from repro.runtime.admission import (
     attach_admission,
 )
 from repro.runtime.cache import VerificationCache
+from repro.runtime.damping import attach_damping
 from repro.sim.loop import Environment
 from repro.sortition.selection import SELECTION_STATS
 
@@ -90,6 +91,14 @@ class SimulationConfig:
     use_admission: bool = True
     #: Budgets/weights for the admission layer (defaults when ``None``).
     admission: "AdmissionConfig | None" = None
+    #: Quorum-trimmed relay (:mod:`repro.runtime.damping`): every node
+    #: stops forwarding votes for a ``(round, step, value)`` once its
+    #: local tally crosses the step threshold. The agreed blocks,
+    #: proposers, and seeds are identical with this on or off; with
+    #: ``bandwidth_bps=None`` the committed chains are byte-identical
+    #: timestamps included (tested across seeds and chaos faults).
+    #: ``False`` reproduces the relay-everything behavior exactly.
+    relay_damping: bool = True
     #: Population representation. ``"full"`` (classic) builds every user
     #: as a live agent for the whole run. ``"aggregated"`` holds
     #: non-participants as a weighted stake pool
@@ -339,16 +348,20 @@ class Simulation:
         #: Network-wide quarantine state (None when admission is off).
         self.quarantine_directory: QuarantineDirectory | None = None
         attach: "callable | None" = None
-        if admission_cfg is not None:
+        if admission_cfg is not None or config.relay_damping:
             index_of = {kp.public: i
                         for i, kp in enumerate(self.keypairs)}
-            self.quarantine_directory = QuarantineDirectory(
-                self.network, admission_cfg, obs=obs)
+            if admission_cfg is not None:
+                self.quarantine_directory = QuarantineDirectory(
+                    self.network, admission_cfg, obs=obs)
 
             def attach(node: Node) -> None:
-                attach_admission(node, admission_cfg,
-                                 directory=self.quarantine_directory,
-                                 index_of=index_of)
+                if admission_cfg is not None:
+                    attach_admission(node, admission_cfg,
+                                     directory=self.quarantine_directory,
+                                     index_of=index_of)
+                if config.relay_damping:
+                    attach_damping(node)
 
         if config.batch_verify_enabled():
             # The verifier primes with the *inner* backend: a cache miss
@@ -574,6 +587,16 @@ class Simulation:
             node.router.unknown_kinds for node in self.nodes))
         for name, value in self._selection_delta.items():
             metrics.set_counter("sortition." + name, value)
+        dampers = [node.damper for node in self.nodes
+                   if node.damper is not None]
+        if dampers:
+            # Core/live agents only — the authoritative network-wide
+            # count (transients included) is the live "gossip.damped.
+            # vote" counter the dampers increment themselves.
+            metrics.set_counter("damping.suppressed",
+                                sum(d.suppressed for d in dampers))
+            metrics.set_counter("damping.observed",
+                                sum(d.observed for d in dampers))
         if self.quarantine_directory is not None:
             admissions = [node.admission for node in self.nodes
                           if node.admission is not None]
@@ -654,6 +677,13 @@ class Simulation:
                     self.quarantine_directory.quarantined),
                 "banned": sorted(self.quarantine_directory.banned),
                 "quarantines": self.quarantine_directory.quarantines,
+            }
+        dampers = [node.damper for node in self.nodes
+                   if node.damper is not None]
+        if dampers:
+            result["damping"] = {
+                "suppressed": sum(d.suppressed for d in dampers),
+                "observed": sum(d.observed for d in dampers),
             }
         if self.conformance is not None:
             verdict = self.conformance.verdict()

@@ -74,6 +74,7 @@ def _ensure_runners() -> None:
         adversarial,
         latency,
         throughput,
+        traffic,
         waiting,
     )
 
@@ -273,6 +274,35 @@ class WaitingSpec(ExperimentSpec):
         if self.wait_seconds <= 0:
             raise SpecError(
                 f"wait_seconds must be positive, got {self.wait_seconds}")
+        if self.num_users < 2:
+            raise SpecError(f"num_users must be >= 2, got {self.num_users}")
+        if self.rounds < 1:
+            raise SpecError(f"rounds must be >= 1, got {self.rounds}")
+
+
+@register_spec
+@dataclass(frozen=True)
+class TrafficSpec(ExperimentSpec):
+    """One traffic-census deployment: a stake shape, damped or not.
+
+    The runner (:mod:`repro.experiments.traffic`) measures per-round
+    gossip counters next to the closed-form committee-traffic model;
+    ``params=None`` selects the census deployment
+    (:data:`~repro.experiments.traffic.CENSUS_PARAMS`).
+    """
+
+    kind: ClassVar[str] = "traffic"
+
+    stake_shape: str = "uniform"
+    num_users: int = 40
+    rounds: int = 2
+    relay_damping: bool = True
+
+    def _validate(self) -> None:
+        if self.stake_shape not in ("uniform", "whale", "midtier"):
+            raise SpecError(
+                f"stake_shape must be uniform, whale or midtier, "
+                f"got {self.stake_shape!r}")
         if self.num_users < 2:
             raise SpecError(f"num_users must be >= 2, got {self.num_users}")
         if self.rounds < 1:

@@ -247,6 +247,29 @@ class NetworkInterface:
                     network._transmit(self.index, dst, envelope)
             yield self._egress_signal.next_event()
 
+    def discard_egress_to(self, target: int) -> int:
+        """Purge queued-but-unsent items addressed to ``target``.
+
+        Called when ``target`` is severed mid-round (peer quarantine): a
+        message already queued for it would otherwise still transmit on
+        the dead link — ``_deliver`` only checks the *receiver's* state,
+        and a quarantined receiver is not ``disconnected``. Worse than
+        wasted bytes, the stray delivery mutates the quarantined peer's
+        dedup set while it is cut off, desyncing what it believes it has
+        seen from what the network will re-offer after its release.
+        Returns the number of items dropped.
+        """
+        dropped = 0
+        for lane in (self._egress_urgent, self._egress_bulk):
+            kept = [item for item in lane if item[1] != target]
+            if len(kept) != len(lane):
+                dropped += len(lane) - len(kept)
+                lane.clear()
+                lane.extend(kept)
+        if dropped and self._metrics is not None:
+            self._metrics.inc("gossip.egress_purged", dropped)
+        return dropped
+
     # --- Receiving --------------------------------------------------------
 
     def _deliver(self, envelope: Envelope, from_index: int) -> None:
@@ -447,10 +470,17 @@ class GossipNetwork:
         for node in added:
             interface = self.interfaces[node]
             for neighbor in interface.neighbors:
-                peers = self.interfaces[neighbor].neighbors
-                if node in peers:
-                    peers.remove(node)
+                peer = self.interfaces[neighbor]
+                if node in peer.neighbors:
+                    peer.neighbors.remove(node)
+                # Severing the link must also purge traffic already
+                # queued for it, or the quarantined node keeps receiving
+                # (and dedup-marking) relays through a link that no
+                # longer exists — state it would carry back on rejoin.
+                peer.discard_egress_to(node)
             interface.neighbors = []
+            interface._egress_urgent.clear()
+            interface._egress_bulk.clear()
 
     def _transmit(self, src: int, dst: int, envelope: Envelope) -> None:
         if self.drop_filter is not None and self.drop_filter(src, dst,

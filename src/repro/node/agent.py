@@ -105,6 +105,11 @@ class Node:
         #: the round loop notifies it at each commit so its per-round
         #: state and peer-health decay stay in step.
         self.admission = None
+        #: Optional :class:`repro.runtime.damping.RelayDamper` installed
+        #: by :func:`repro.runtime.damping.attach_damping`: consulted on
+        #: every accepted vote to skip forwarding once the local tally
+        #: for its (round, step, value) has crossed the step threshold.
+        self.damper = None
         # Single-slot memo for _current_context: vote admission asks for
         # the same round's context once per delivered envelope, and the
         # weight-table rebuild dominates that path.
@@ -178,6 +183,11 @@ class Node:
                 self.fork_monitor.get(vote.prev_hash, 0) + 1)
         self._seen_votes.add(key)
         self.buffer.add(vote)
+        if self.damper is not None:
+            # Quorum-trimmed relay: the vote is buffered and counted
+            # locally either way; only the forward is skipped once this
+            # key's tally has crossed its threshold.
+            return self.damper.should_relay(vote)
         return True
 
     def _handle_priority(self, message: PriorityMessage) -> bool:
@@ -215,6 +225,8 @@ class Node:
     def _gossip_vote(self, vote: VoteMessage) -> None:
         self._seen_votes.add((vote.voter, vote.round_number, vote.step))
         self.buffer.add(vote)  # count our own vote
+        if self.damper is not None:
+            self.damper.observe_own(vote)
         self.interface.broadcast(vote_envelope(self.keypair.public, vote))
 
     def _observe_step(self, round_number: int, step: str, seconds: float,
@@ -272,6 +284,8 @@ class Node:
         self._weights_memo.clear()
         if self.admission is not None:
             self.admission.reset()
+        if self.damper is not None:
+            self.damper.reset()
         if self.obs is not None:
             # Close the intervals the killed generators held (recovery
             # lanes excepted — their sessions outlive a crash) before
@@ -652,3 +666,5 @@ class Node:
                                  if key[1] >= horizon}
         if self.admission is not None:
             self.admission.end_round(completed_round)
+        if self.damper is not None:
+            self.damper.end_round(completed_round)

@@ -200,6 +200,10 @@ class RecoverySession:
             # vote-dedup state would misread honest re-votes as
             # equivocation (see AdmissionControl.on_chain_adopted).
             node.admission.on_chain_adopted()
+        if node.damper is not None:
+            # Likewise: stale threshold crossings from the abandoned
+            # view could suppress votes the re-run rounds need.
+            node.damper.on_chain_adopted()
         if proposal.tip_hash == node.chain.tip_hash:
             node.halted = False
             return
@@ -215,6 +219,8 @@ class RecoverySession:
         self.node.buffer.prune_at_or_above(RECOVERY_ROUND_BASE)
         if self.node.admission is not None:
             self.node.admission.on_chain_adopted()
+        if self.node.damper is not None:
+            self.node.damper.on_chain_adopted()
 
 
 def run_recovery(nodes: list[Node], pre_fork_round: int,

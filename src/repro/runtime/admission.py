@@ -65,7 +65,8 @@ from repro.network.message import Envelope
 from repro.sortition.roles import FINAL_STEP, committee_role
 from repro.sortition.selection import verify_sort
 
-if TYPE_CHECKING:  # pragma: no cover - typing only
+if TYPE_CHECKING:
+    from repro.baplus.context import BAContext  # pragma: no cover - typing only
     from repro.network.gossip import GossipNetwork
     from repro.node.agent import Node
 
@@ -277,6 +278,41 @@ class QuarantineDirectory:
             self.network.set_quarantined(self.quarantined)
 
 
+def sortition_weight(node: "Node", vote: VoteMessage,
+                     ctx: "BAContext | None" = None) -> int:
+    """Committee weight of ``vote`` in ``node``'s current context.
+
+    Section 5.2's ``VerifySort`` against the committee for the vote's
+    ``(round, step)``, memoized through the shared verification cache
+    when one is installed. The single weighing every ingress-side
+    consumer shares: sortition-gated admission and the relay damper
+    (:mod:`repro.runtime.damping`) must agree on a vote's weight or
+    their decisions could diverge from the vote count itself.
+
+    Callers are responsible for decidability (same round, same tip) —
+    this helper weighs against ``node``'s context for the vote's round,
+    or against an explicit ``ctx`` (the damper passes the round's
+    in-round context when weighing votes that trail a commit).
+    """
+    if ctx is None:
+        ctx = node._current_context(vote.round_number)
+    tau = (node.params.tau_final if vote.step == FINAL_STEP
+           else node.params.tau_step)
+    role = committee_role(vote.round_number, vote.step)
+    weight = ctx.weight_of(vote.voter)
+    cache = getattr(node.backend, "cache", None)
+    if cache is not None:
+        return cache.memo_sortition(
+            lambda: verify_sort(
+                node.backend, vote.voter, vote.sorthash, vote.sortproof,
+                ctx.seed, tau, role, weight, ctx.total_weight),
+            vote.voter, vote.sorthash, vote.sortproof, ctx.seed,
+            tau, role, weight, ctx.total_weight)
+    return verify_sort(
+        node.backend, vote.voter, vote.sorthash, vote.sortproof,
+        ctx.seed, tau, role, weight, ctx.total_weight)
+
+
 class AdmissionControl:
     """Per-node ingress filter installed on the gossip interface.
 
@@ -409,23 +445,7 @@ class AdmissionControl:
         return True
 
     def _committee_sort(self, vote: VoteMessage) -> int:
-        node = self.node
-        ctx = node._current_context(vote.round_number)
-        tau = (node.params.tau_final if vote.step == FINAL_STEP
-               else node.params.tau_step)
-        role = committee_role(vote.round_number, vote.step)
-        weight = ctx.weight_of(vote.voter)
-        cache = getattr(node.backend, "cache", None)
-        if cache is not None:
-            return cache.memo_sortition(
-                lambda: verify_sort(
-                    node.backend, vote.voter, vote.sorthash, vote.sortproof,
-                    ctx.seed, tau, role, weight, ctx.total_weight),
-                vote.voter, vote.sorthash, vote.sortproof, ctx.seed,
-                tau, role, weight, ctx.total_weight)
-        return verify_sort(
-            node.backend, vote.voter, vote.sorthash, vote.sortproof,
-            ctx.seed, tau, role, weight, ctx.total_weight)
+        return sortition_weight(self.node, vote)
 
     def _admit_priority(self, envelope: Envelope, from_index: int) -> bool:
         message = envelope.payload

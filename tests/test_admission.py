@@ -26,6 +26,8 @@ from repro.runtime.admission import (
 )
 from repro.sim.loop import Environment
 
+from tests.fixtures import run_sim, signed_vote
+
 
 class TestAdmissionConfig:
     def test_defaults_validate(self):
@@ -260,7 +262,7 @@ class TestAdmissionGate:
     """Drive AdmissionControl.admit directly on a live simulation node."""
 
     def _sim(self, **kwargs):
-        return Simulation(SimulationConfig(num_users=6, seed=11, **kwargs))
+        return run_sim(0, num_users=6, seed=11, **kwargs)
 
     def test_invalid_signature_rejected_and_sender_scored(self):
         sim = self._sim()
@@ -291,10 +293,9 @@ class TestAdmissionGate:
         # signature-checked and bounded by the buffer budget instead.
         sim = self._sim()
         node = sim.nodes[0]
-        keypair = sim.keypairs[2]
-        vote = make_vote(sim.backend, keypair.secret, keypair.public, 50,
-                         "1", H(b"s"), b"p", node.chain.tip_hash, H(b"v"))
-        assert node.admission.admit(vote_envelope(keypair.public, vote), 2)
+        vote = signed_vote(sim, 2, 50, "1")
+        assert node.admission.admit(
+            vote_envelope(sim.keypairs[2].public, vote), 2)
         assert node.admission.admitted == 1
 
     def test_stale_vote_rejected_without_penalty(self):
@@ -302,11 +303,9 @@ class TestAdmissionGate:
         # lateness, not an offense: rejected, nobody scored.
         sim = self._sim()
         node = sim.nodes[0]
-        keypair = sim.keypairs[2]
-        stale = make_vote(sim.backend, keypair.secret, keypair.public, 0,
-                          "1", H(b"s"), b"p", node.chain.tip_hash, H(b"v"))
+        stale = signed_vote(sim, 2, 0, "1")
         assert not node.admission.admit(
-            vote_envelope(keypair.public, stale), 2)
+            vote_envelope(sim.keypairs[2].public, stale), 2)
         assert node.admission.rejected["stale"] == 1
         assert node.admission.health.scores == {}
 
@@ -428,10 +427,8 @@ class TestHonestDeterminism:
         rejections (beyond none at all) and no quarantines."""
         tips = {}
         for use_admission in (True, False):
-            sim = Simulation(SimulationConfig(num_users=10, seed=21,
-                                              use_admission=use_admission))
-            sim.submit_payments(12)
-            sim.run_rounds(2)
+            sim = run_sim(2, payments=12, num_users=10, seed=21,
+                          use_admission=use_admission)
             tips[use_admission] = [node.chain.tip_hash
                                    for node in sim.nodes]
             if use_admission:

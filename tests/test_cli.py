@@ -21,7 +21,7 @@ class TestCLI:
         assert set(ARTIFACTS) == {
             "fig3", "fig5", "fig6", "fig7", "fig8", "tab_throughput",
             "tab_costs", "tab_timeouts", "tab_params", "tab_related",
-            "tab_waiting", "tab_scalability", "obs",
+            "tab_waiting", "tab_scalability", "obs", "traffic",
         }
 
     def test_related_artifact_runs(self, capsys):

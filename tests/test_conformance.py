@@ -35,22 +35,16 @@ from repro.obs import (
 )
 from repro.obs.report import render_report, step_timings, trace_losses
 
+from tests.fixtures import run_sim, run_traced
+
 USERS = 10
 ROUNDS = 3
 SEED = 7
 
 
-def _run(config: SimulationConfig) -> tuple[Simulation, TraceBus]:
-    bus = TraceBus()
-    sim = Simulation(config, obs=bus)
-    sim.submit_payments(12)
-    sim.run_rounds(ROUNDS)
-    return sim, bus
-
-
 @pytest.fixture(scope="module")
 def clean_run():
-    return _run(SimulationConfig(num_users=USERS, seed=SEED))
+    return run_traced(ROUNDS, payments=12, num_users=USERS, seed=SEED)
 
 
 @pytest.fixture(scope="module")
@@ -93,13 +87,10 @@ class TestCleanTraces:
         # are actually exercised (mirrors test_population's dormancy
         # configuration).
         from repro.common.params import TEST_PARAMS
-        bus = TraceBus()
-        sim = Simulation(SimulationConfig(
-            num_users=150, initial_balance=1, seed=2,
+        sim, bus = run_traced(
+            2, num_users=150, initial_balance=1, seed=2,
             params=TEST_PARAMS.scaled(0.1),
-            population="aggregated", always_on_core=8,
-            steps_ahead=6), obs=bus)
-        sim.run_rounds(2)
+            population="aggregated", always_on_core=8, steps_ahead=6)
         verdict = sim.conformance.verdict()
         assert verdict.ok, verdict.violations
         # Retirement events flow through the machine's grace path.
@@ -142,16 +133,13 @@ class TestCleanTraces:
             SimulationConfig(num_users=8, conformance="yes").validate()
 
     def test_forced_conformance_without_bus(self):
-        sim = Simulation(SimulationConfig(
-            num_users=8, seed=3, conformance=True))
-        sim.run_rounds(1)
+        sim = run_sim(1, num_users=8, seed=3, conformance=True)
         assert sim.conformance is not None
         assert sim.conformance.verdict().ok
 
     def test_conformance_off(self):
-        sim = Simulation(SimulationConfig(
-            num_users=8, seed=3, conformance=False), obs=TraceBus())
-        sim.run_rounds(1)
+        sim = run_sim(1, obs=TraceBus(), num_users=8, seed=3,
+                      conformance=False)
         assert sim.conformance is None
         assert "conformance" not in sim.summary()
 

@@ -22,31 +22,10 @@ from repro.common.errors import ConfigError, PopulationError
 from repro.common.params import TEST_PARAMS
 from repro.experiments.harness import Simulation, SimulationConfig
 
-
-def run_sim(rounds: int, payments: int = 0, **kwargs) -> Simulation:
-    sim = Simulation(SimulationConfig(**kwargs))
-    if payments:
-        sim.submit_payments(payments)
-    sim.run_rounds(rounds)
-    return sim
-
-
-def assert_byte_identical(full: Simulation, agg: Simulation,
-                          rounds: int) -> None:
-    chain_full = full.nodes[0].chain
-    chain_agg = agg.nodes[0].chain
-    assert chain_agg.height == chain_full.height == rounds
-    for r in range(1, rounds + 1):
-        # Block dataclass equality covers every byte of the committed
-        # content — transactions, seed, proposer, and the timestamp
-        # (the field most sensitive to any event-ordering drift).
-        assert chain_agg.block_at(r) == chain_full.block_at(r)
-    assert chain_agg.tip_hash == chain_full.tip_hash
-    for node_full, node_agg in zip(full.nodes, agg.nodes):
-        assert node_agg.chain.tip_hash == node_full.chain.tip_hash
-        for r in range(1, rounds + 1):
-            assert (node_agg.metrics.round_record(r)
-                    == node_full.metrics.round_record(r))
+from tests.fixtures import (
+    assert_chains_byte_identical as assert_byte_identical,
+    run_sim,
+)
 
 
 class TestRepresentationEquivalence:

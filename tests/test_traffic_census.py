@@ -1,0 +1,142 @@
+"""The traffic census: analytic model, stake shapes, golden artifact.
+
+Three layers, cheapest first:
+
+* pure math — the stake distributions are exact and deterministic, and
+  the analytical ``minimal`` column lands in the 75–117 messages/round
+  band for every shape (the census was tuned so the three shapes are
+  comparable on one axis);
+* the committed ``BENCH_traffic.json`` — its analytic columns must
+  match a fresh closed-form recomputation, its damped vote relays must
+  undercut the undamped ones for every shape, and the 200-user scale
+  point must record the >= 30% relay reduction the damper claims;
+* golden regeneration (``slow``) — rebuilding the census grid from
+  scratch reproduces the committed census and params sections byte for
+  byte (simulations included, not just the math).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.traffic import (
+    CENSUS_PARAMS,
+    CENSUS_USERS,
+    STAKE_SHAPES,
+    STAKE_UNIT,
+    analytical_census,
+    build_report,
+    expected_distinct_voters,
+    stake_distribution,
+)
+
+ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_traffic.json"
+
+#: The census band: tuned so every stake shape's analytical minimal
+#: column is mutually comparable (see the module docstring).
+BAND = (75.0, 117.0)
+
+
+@pytest.fixture(scope="module")
+def artifact() -> dict:
+    return json.loads(ARTIFACT.read_text())
+
+
+class TestStakeDistributions:
+    @pytest.mark.parametrize("shape", STAKE_SHAPES)
+    @pytest.mark.parametrize("n", [10, 40, 200])
+    def test_exact_total_and_deterministic(self, shape, n):
+        balances = stake_distribution(shape, n)
+        assert sum(balances) == STAKE_UNIT * n
+        assert all(b >= 0 for b in balances)
+        assert balances == stake_distribution(shape, n)
+
+    def test_whale_concentration(self):
+        balances = stake_distribution("whale", 40)
+        whales = 40 // 10
+        assert sum(balances[:whales]) == (STAKE_UNIT * 40) // 3
+
+    def test_midtier_concentration(self):
+        balances = stake_distribution("midtier", 40)
+        mid = (40 * 2) // 5
+        low = (40 - mid) // 2
+        assert sum(balances[low:low + mid]) == (STAKE_UNIT * 40 * 3) // 5
+
+    def test_unknown_shape_rejected(self):
+        with pytest.raises(ValueError, match="unknown stake shape"):
+            stake_distribution("pareto", 40)
+
+
+class TestAnalyticModel:
+    def test_concentration_lowers_distinct_voters(self):
+        # A whale's sub-users collapse into one message, so E_d under
+        # concentrated stake is below the uniform value.
+        uniform = stake_distribution("uniform", CENSUS_USERS)
+        for shape in ("whale", "midtier"):
+            concentrated = stake_distribution(shape, CENSUS_USERS)
+            assert (expected_distinct_voters(concentrated, 24)
+                    < expected_distinct_voters(uniform, 24))
+
+    def test_expected_voters_bounded(self):
+        balances = stake_distribution("uniform", CENSUS_USERS)
+        for tau in (5, 24, 36):
+            expected = expected_distinct_voters(balances, tau)
+            assert 0 < expected < min(CENSUS_USERS, tau + 1)
+
+    @pytest.mark.parametrize("shape", STAKE_SHAPES)
+    def test_minimal_column_in_band(self, shape):
+        balances = stake_distribution(shape, CENSUS_USERS)
+        census = analytical_census(balances, CENSUS_PARAMS)
+        assert BAND[0] <= census["minimal"] <= BAND[1], (shape, census)
+        assert census["minimal"] < census["full"]
+
+
+class TestCommittedArtifact:
+    def test_census_covers_every_shape(self, artifact):
+        assert set(artifact["census"]) == set(STAKE_SHAPES)
+
+    @pytest.mark.parametrize("shape", STAKE_SHAPES)
+    def test_analytic_columns_match_recomputation(self, artifact, shape):
+        entry = artifact["census"][shape]
+        balances = stake_distribution(shape, entry["num_users"])
+        assert entry["analytic"] == analytical_census(balances,
+                                                      CENSUS_PARAMS)
+
+    @pytest.mark.parametrize("shape", STAKE_SHAPES)
+    def test_damping_reduced_vote_relays(self, artifact, shape):
+        entry = artifact["census"][shape]
+        assert (entry["damped"]["vote"]["relayed"]
+                < entry["undamped"]["vote"]["relayed"])
+        assert entry["damped_votes_per_round"] > 0
+        assert entry["vote_relay_reduction_pct"] > 0
+
+    def test_scale_point_records_headline_reduction(self, artifact):
+        scale = artifact["scale"]
+        assert scale["num_users"] >= 200
+        assert scale["pipeline_final_step"] is True
+        assert scale["vote_relay_reduction_pct"] >= 30.0
+        assert (scale["damped"]["vote"]["relayed"]
+                < scale["undamped"]["vote"]["relayed"])
+
+    def test_params_pinned(self, artifact):
+        assert artifact["params"] == {
+            "tau_proposer": CENSUS_PARAMS.tau_proposer,
+            "tau_step": CENSUS_PARAMS.tau_step,
+            "tau_final": CENSUS_PARAMS.tau_final,
+            "t_step": CENSUS_PARAMS.t_step,
+            "t_final": CENSUS_PARAMS.t_final,
+        }
+
+
+@pytest.mark.slow
+class TestGoldenRegeneration:
+    def test_census_is_byte_reproducible(self, artifact):
+        regenerated = build_report(include_scale=False)
+        for section in ("census", "params"):
+            assert (json.dumps(regenerated[section], sort_keys=True)
+                    == json.dumps(artifact[section], sort_keys=True)), (
+                f"{section} section drifted from BENCH_traffic.json — "
+                f"regenerate with python -m repro.experiments traffic")
