@@ -7,7 +7,11 @@ The package implements the paper's full stack:
 * :mod:`repro.ledger` — transactions, accounts, blocks, chains, storage;
 * :mod:`repro.baplus` — the BA* Byzantine agreement protocol;
 * :mod:`repro.node` — the user agent: proposal, rounds, recovery, catch-up;
+* :mod:`repro.substrate` — the execution-substrate API (clock + transport)
+  both runners satisfy;
 * :mod:`repro.network` / :mod:`repro.sim` — the simulated WAN substrate;
+* :mod:`repro.live` — the live substrate: real OS processes speaking the
+  wire format over TCP or Unix domain sockets;
 * :mod:`repro.adversary` — Byzantine strategies and network control;
 * :mod:`repro.baselines` — the Bitcoin/Nakamoto comparison baseline;
 * :mod:`repro.analysis` — committee sizing (Figure 3, Appendix B);
@@ -16,7 +20,7 @@ The package implements the paper's full stack:
 * :mod:`repro.conformance` — reference BA* state machine checked
   against every trace, online and offline.
 
-Quickstart::
+Quickstart (simulated substrate, deterministic virtual time)::
 
     from repro import Simulation, SimulationConfig
 
@@ -24,17 +28,53 @@ Quickstart::
     sim.submit_payments(50)
     sim.run_rounds(3)
     assert sim.all_chains_equal()
+
+Same protocol on real processes and sockets (live substrate)::
+
+    from repro import SimulationConfig, SubstrateConfig, deploy
+
+    cluster = deploy(SimulationConfig(
+        num_users=5, seed=7, initial_balance=40,
+        substrate=SubstrateConfig(kind="live")))
+    cluster.submit_payments(20)
+    cluster.run_rounds(3)
+    assert cluster.all_chains_equal()
+
+Config knobs are grouped (``network=NetworkConfig(...)``,
+``runtime=RuntimeConfig(...)``, ``population=PopulationConfig(...)``,
+``substrate=SubstrateConfig(...)``); the old flat keyword arguments are
+still accepted under a :class:`DeprecationWarning`.
 """
 
 from repro.common.params import PAPER_PARAMS, TEST_PARAMS, ProtocolParams
-from repro.experiments.harness import Simulation, SimulationConfig
+from repro.experiments.harness import (
+    NetworkConfig,
+    PopulationConfig,
+    RuntimeConfig,
+    Simulation,
+    SimulationConfig,
+    SubstrateConfig,
+    deploy,
+)
+from repro.live.cluster import LiveCluster
 from repro.obs import TraceBus
+from repro.substrate import Clock, SimSubstrate, Substrate, Transport
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Simulation",
     "SimulationConfig",
+    "NetworkConfig",
+    "RuntimeConfig",
+    "PopulationConfig",
+    "SubstrateConfig",
+    "deploy",
+    "LiveCluster",
+    "Clock",
+    "Transport",
+    "Substrate",
+    "SimSubstrate",
     "TraceBus",
     "ProtocolParams",
     "PAPER_PARAMS",

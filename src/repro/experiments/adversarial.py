@@ -15,7 +15,7 @@ from dataclasses import dataclass
 from repro.adversary.strategies import MaliciousNode
 from repro.common.errors import NoSamplesError
 from repro.common.params import ProtocolParams, TEST_PARAMS
-from repro.experiments.harness import Simulation, SimulationConfig
+from repro.experiments.harness import NetworkConfig, Simulation, SimulationConfig
 from repro.experiments.metrics import LatencySummary
 from repro.experiments.spec import (
     AdversarialSpec,
@@ -47,7 +47,7 @@ def run_spec(spec: AdversarialSpec) -> AdversarialPoint:
     sim = Simulation(
         SimulationConfig(num_users=num_users, params=params,
                          seed=spec.seed, num_malicious=num_malicious,
-                         latency_model="city"),
+                         network=NetworkConfig(latency_model="city")),
         malicious_class=MaliciousNode if num_malicious else None,
     )
     sim.submit_payments(num_users, note_bytes=20)

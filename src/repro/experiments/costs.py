@@ -19,7 +19,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.common.params import ProtocolParams, TEST_PARAMS
-from repro.experiments.harness import Simulation, SimulationConfig
+from repro.experiments.harness import NetworkConfig, Simulation, SimulationConfig
 from repro.ledger.storage import ShardedStore
 from repro.network.message import VOTE_MESSAGE_BYTES
 
@@ -56,7 +56,7 @@ def measure_costs(num_users: int = 40, *, rounds: int = 3, seed: int = 0,
     counting = CountingBackend(FastBackend())
     sim = Simulation(SimulationConfig(
         num_users=num_users, params=params, seed=seed,
-        bandwidth_bps=20e6, latency_model="city",
+        network=NetworkConfig(bandwidth_bps=20e6, latency_model="city"),
     ), backend=counting)
     for _ in range(rounds):
         sim.submit_payments(min(200, num_users * 2),

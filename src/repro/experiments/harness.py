@@ -2,24 +2,21 @@
 
 One :class:`Simulation` owns an event loop, a gossip network, and ``n``
 nodes sharing a genesis; experiments configure it through
-:class:`SimulationConfig` and read results from node metrics and the
-network's cost counters. Everything is deterministic in ``config.seed``.
+:class:`SimulationConfig` (see :mod:`repro.experiments.config` for the
+nested groups) and read results from node metrics and the network's
+cost counters. Everything is deterministic in ``config.seed``.
+
+The harness is the *sim-substrate* runner: one process, virtual time.
+Its live-substrate twin is :class:`repro.live.cluster.LiveCluster`;
+:func:`repro.experiments.config.deploy` picks between them by config.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
 import numpy as np
 
 from repro.common.encoding import encode
-from repro.common.errors import (
-    BalancesError,
-    ConfigError,
-    LatencyModelError,
-    PopulationError,
-)
-from repro.common.params import ProtocolParams, TEST_PARAMS
+from repro.common.errors import ConfigError, LatencyModelError
 from repro.crypto.backend import CachedBackend, CryptoBackend, FastBackend
 from repro.crypto.hashing import H
 from repro.ledger.blockchain import Blockchain
@@ -27,6 +24,14 @@ from repro.ledger.transaction import make_transaction
 from repro.network.gossip import GossipNetwork
 from repro.network.latency import LatencyModel, UniformLatencyModel
 from repro.conformance.monitor import ConformanceMonitor
+from repro.experiments.config import (  # noqa: F401  (re-exported API)
+    NetworkConfig,
+    PopulationConfig,
+    RuntimeConfig,
+    SimulationConfig,
+    SubstrateConfig,
+    deploy,
+)
 from repro.node.agent import Node
 from repro.node.population import Population
 from repro.node.registry import BlockRegistry
@@ -41,203 +46,7 @@ from repro.runtime.cache import VerificationCache
 from repro.runtime.damping import attach_damping
 from repro.sim.loop import Environment
 from repro.sortition.selection import SELECTION_STATS
-
-
-@dataclass
-class SimulationConfig:
-    """Parameters of one simulated deployment."""
-
-    num_users: int = 20
-    params: ProtocolParams = field(default_factory=lambda: TEST_PARAMS)
-    seed: int = 0
-    #: Currency units per user ("equal share of money", section 10).
-    initial_balance: int = 10
-    #: Per-node uplink in bits/second; ``None`` disables bandwidth modeling.
-    bandwidth_bps: float | None = 20e6
-    #: "city" uses the 20-city WAN model; "uniform" a constant latency.
-    latency_model: str = "city"
-    uniform_latency: float = 0.05
-    peers_per_node: int = 4
-    #: Optional weight list overriding the equal distribution.
-    balances: list[int] | None = None
-    #: Number of Byzantine users (instantiated from the ``malicious_class``
-    #: passed to :class:`Simulation`); they occupy the highest indices so
-    #: index 0 is always an honest observer.
-    num_malicious: int = 0
-    #: Extra zero-stake nodes appended after the weighted users. They
-    #: exercise the paper's "passive participation" property (section 7):
-    #: BA* keeps no secrets, so anyone can count votes and reach the same
-    #: agreement decisions without ever being selected to speak.
-    num_observers: int = 0
-    #: Re-randomize every node's gossip peers after each round (§8.4:
-    #: "Algorand replaces gossip peers each round, which helps users
-    #: recover from being possibly disconnected").
-    reshuffle_peers_each_round: bool = False
-    #: Share context-independent verification verdicts (VRF proofs,
-    #: envelope signatures) across nodes via a per-simulation
-    #: :class:`repro.runtime.VerificationCache`. Context-dependent checks
-    #: (seeds, balances, vote counting) still run per node. ``False``
-    #: reproduces the pre-cache behavior bit-for-bit.
-    use_verification_cache: bool = True
-    #: Rounds of gossip duplicate-suppression memory per node; ``None``
-    #: keeps every msg_id forever (unbounded, pre-refactor behavior).
-    seen_horizon_rounds: int | None = 2
-    #: Install the :mod:`repro.runtime.admission` ingress layer on every
-    #: node: sortition-gated vote admission, bounded vote buffers and
-    #: egress lanes, peer health scoring, and a network quarantine
-    #: directory. On honest deployments the committed chain is
-    #: byte-identical with this on or off. ``False`` reproduces the
-    #: pre-admission wiring exactly.
-    use_admission: bool = True
-    #: Budgets/weights for the admission layer (defaults when ``None``).
-    admission: "AdmissionConfig | None" = None
-    #: Quorum-trimmed relay (:mod:`repro.runtime.damping`): every node
-    #: stops forwarding votes for a ``(round, step, value)`` once its
-    #: local tally crosses the step threshold. The agreed blocks,
-    #: proposers, and seeds are identical with this on or off; with
-    #: ``bandwidth_bps=None`` the committed chains are byte-identical
-    #: timestamps included (tested across seeds and chaos faults).
-    #: ``False`` reproduces the relay-everything behavior exactly.
-    relay_damping: bool = True
-    #: Population representation. ``"full"`` (classic) builds every user
-    #: as a live agent for the whole run. ``"aggregated"`` holds
-    #: non-participants as a weighted stake pool
-    #: (:class:`repro.node.population.Population`): array-backed
-    #: balances keyed by stable account index, full agents only for the
-    #: always-on core plus each round's sortition winners, materialized
-    #: at round boundaries and retired after their round. Honest-only
-    #: (``num_malicious == 0``, ``num_observers == 0``). With
-    #: ``always_on_core >= num_users`` the aggregated run commits chains
-    #: byte-identical to ``"full"``; with a smaller core the proposer
-    #: sequence and seed chain still match the full run exactly (they
-    #: are VRF-determined) while block timestamps may shift with the
-    #: thinner relay fabric.
-    population: str = "full"
-    #: Aggregated mode: how many always-on full agents (lowest indices).
-    always_on_core: int = 16
-    #: Aggregated mode: BinaryBA* steps covered by the per-round pool
-    #: pass (4 covers the honest clean path incl. next-three steering).
-    steps_ahead: int = 4
-    #: Batch signature verification per delivery drain: one pass over a
-    #: same-instant delivery group's vote signatures primes the shared
-    #: verification cache before the group's envelopes are processed.
-    #: Pure cache effect — committed chains are unaffected. ``"auto"``
-    #: enables it exactly for aggregated populations (whose drains are
-    #: large enough to pay off); explicit ``True`` requires
-    #: ``use_verification_cache``.
-    batch_verify: bool | str = "auto"
-    #: Online conformance checking (:mod:`repro.conformance`): attach a
-    #: :class:`~repro.conformance.ConformanceMonitor` that replays every
-    #: node's event stream through the reference BA* state machine as
-    #: the run executes. ``"auto"`` (default) enables it exactly when a
-    #: trace bus is supplied — every traced run is checked for free.
-    #: ``True`` forces it even without a bus (a private, event-less bus
-    #: is created to feed the monitor); ``False`` disables it. The
-    #: monitor is a pure observer: committed chains are byte-identical
-    #: with it on or off. Violations never raise mid-run; read them from
-    #: ``sim.conformance.verdict()`` or the ``conformance`` section of
-    #: :meth:`Simulation.summary`.
-    conformance: bool | str = "auto"
-
-    def batch_verify_enabled(self) -> bool:
-        if self.batch_verify == "auto":
-            return (self.population == "aggregated"
-                    and self.use_verification_cache)
-        return bool(self.batch_verify)
-
-    def validate(self) -> None:
-        """Raise a typed :class:`~repro.common.errors.ConfigError` subclass
-        on any inconsistency. Invoked by :class:`Simulation` before wiring
-        anything, so misconfigurations fail fast with one clear error
-        instead of surfacing as scattered ``ValueError``\\ s (or, worse,
-        as a silently degenerate deployment)."""
-        if self.num_users < 1:
-            raise PopulationError(
-                f"num_users must be >= 1, got {self.num_users}")
-        if self.num_malicious < 0:
-            raise PopulationError(
-                f"num_malicious must be >= 0, got {self.num_malicious}")
-        if self.num_observers < 0:
-            raise PopulationError(
-                f"num_observers must be >= 0, got {self.num_observers}")
-        if self.num_malicious > self.num_users:
-            # Malicious users occupy the highest user indices; they
-            # cannot outnumber the weighted population itself.
-            raise PopulationError(
-                f"num_malicious ({self.num_malicious}) exceeds "
-                f"num_users ({self.num_users})")
-        if self.initial_balance < 0:
-            raise BalancesError(
-                f"initial_balance must be >= 0, got {self.initial_balance}")
-        if self.balances is not None:
-            if len(self.balances) != self.num_users:
-                raise BalancesError(
-                    f"balances length ({len(self.balances)}) must equal "
-                    f"num_users ({self.num_users})")
-            if any(balance < 0 for balance in self.balances):
-                raise BalancesError("balances must be non-negative")
-        if self.bandwidth_bps is not None and self.bandwidth_bps <= 0:
-            raise ConfigError(
-                f"bandwidth_bps must be positive or None, "
-                f"got {self.bandwidth_bps}")
-        if self.latency_model not in ("city", "uniform"):
-            raise LatencyModelError(
-                f"unknown latency model {self.latency_model!r} "
-                f"(expected 'city' or 'uniform')")
-        if self.uniform_latency < 0:
-            raise ConfigError(
-                f"uniform_latency must be >= 0, got {self.uniform_latency}")
-        if self.peers_per_node < 1:
-            raise ConfigError(
-                f"peers_per_node must be >= 1, got {self.peers_per_node}")
-        if (self.seen_horizon_rounds is not None
-                and self.seen_horizon_rounds < 1):
-            raise ConfigError(
-                f"seen_horizon_rounds must be >= 1 or None, "
-                f"got {self.seen_horizon_rounds}")
-        if self.admission is not None:
-            self.admission.validate()
-        if self.population not in ("full", "aggregated"):
-            raise PopulationError(
-                f"unknown population mode {self.population!r} "
-                f"(expected 'full' or 'aggregated')")
-        if self.population == "aggregated":
-            if self.num_malicious:
-                raise PopulationError(
-                    "aggregated population is honest-only: dormant stake "
-                    "cannot model Byzantine agents (use population='full')")
-            if self.num_observers:
-                raise PopulationError(
-                    "aggregated population does not support observers "
-                    "(use population='full')")
-            if self.always_on_core < 1:
-                raise PopulationError(
-                    f"always_on_core must be >= 1, "
-                    f"got {self.always_on_core}")
-            if self.steps_ahead < 1:
-                raise PopulationError(
-                    f"steps_ahead must be >= 1, got {self.steps_ahead}")
-        if self.batch_verify not in (True, False, "auto"):
-            raise ConfigError(
-                f"batch_verify must be True, False, or 'auto', "
-                f"got {self.batch_verify!r}")
-        if self.conformance not in (True, False, "auto"):
-            raise ConfigError(
-                f"conformance must be True, False, or 'auto', "
-                f"got {self.conformance!r}")
-        if self.batch_verify is True and not self.use_verification_cache:
-            raise ConfigError(
-                "batch_verify=True requires use_verification_cache "
-                "(priming writes into the shared cache)")
-
-    def make_balances(self) -> list[int]:
-        if self.balances is not None:
-            if len(self.balances) != self.num_users:
-                raise BalancesError(
-                    f"balances length ({len(self.balances)}) must equal "
-                    f"num_users ({self.num_users})")
-            return list(self.balances)
-        return [self.initial_balance] * self.num_users
+from repro.substrate.sim import SimSubstrate
 
 
 class Simulation:
@@ -311,8 +120,8 @@ class Simulation:
                 f"unknown latency model {config.latency_model}")
         admission_cfg = ((config.admission or AdmissionConfig())
                          if config.use_admission else None)
-        aggregated = config.population == "aggregated"
-        core_size = min(config.always_on_core, config.num_users)
+        aggregated = config.population.mode == "aggregated"
+        core_size = min(config.population.always_on_core, config.num_users)
         # When the core covers everyone there is no dormant stake; the
         # classic (active=None) construction path keeps the aggregated
         # deployment on the exact same RNG/event sequence as "full" —
@@ -328,6 +137,16 @@ class Simulation:
             obs=obs,
             active_indices=list(range(core_size)) if dormant else None,
         )
+        #: Per-node execution context: the explicit
+        #: :class:`repro.substrate.Substrate` pairing of this run's
+        #: virtual clock with each node's gossip interface. Purely
+        #: descriptive for the sim substrate (no behavior change);
+        #: :class:`~repro.live.cluster.LiveCluster` builds the live
+        #: equivalent per process.
+        self.substrates = [
+            SimSubstrate(clock=self.env, transport=interface)
+            for interface in self.network.interfaces
+        ]
 
         # Observers get keys but zero stake (appended after the users).
         balances = config.make_balances() + [0] * config.num_observers

@@ -24,7 +24,7 @@ from dataclasses import dataclass
 
 from repro.common.errors import NoSamplesError
 from repro.common.params import ProtocolParams, TEST_PARAMS
-from repro.experiments.harness import Simulation, SimulationConfig
+from repro.experiments.harness import NetworkConfig, PopulationConfig, Simulation, SimulationConfig
 from repro.experiments.metrics import LatencySummary
 from repro.experiments.spec import LatencySpec, register_runner, run_point
 
@@ -57,9 +57,11 @@ def run_spec(spec: LatencySpec) -> LatencyPoint:
     params = _scaling_params(spec.params)
     config = SimulationConfig(
         num_users=spec.num_users, params=params, seed=spec.seed,
-        bandwidth_bps=spec.bandwidth_bps, latency_model="city",
-        population=spec.population, always_on_core=spec.always_on_core,
-        steps_ahead=spec.steps_ahead,
+        network=NetworkConfig(bandwidth_bps=spec.bandwidth_bps,
+                              latency_model="city"),
+        population=PopulationConfig(mode=spec.population,
+                                    always_on_core=spec.always_on_core,
+                                    steps_ahead=spec.steps_ahead),
     )
     sim = Simulation(config)
     if spec.payload_bytes:

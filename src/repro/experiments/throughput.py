@@ -23,7 +23,7 @@ import numpy as np
 
 from repro.baselines.nakamoto import NakamotoConfig, throughput_bytes_per_hour
 from repro.common.params import ProtocolParams, TEST_PARAMS
-from repro.experiments.harness import Simulation, SimulationConfig
+from repro.experiments.harness import NetworkConfig, Simulation, SimulationConfig
 from repro.experiments.spec import (
     BlockSizeSpec,
     register_runner,
@@ -63,7 +63,8 @@ def run_spec(spec: BlockSizeSpec) -> BlockSizePoint:
         lambda_block=max(base.lambda_block, 40.0 * per_hop))
     sim = Simulation(SimulationConfig(
         num_users=num_users, params=tuned, seed=spec.seed,
-        bandwidth_bps=spec.bandwidth_bps, latency_model="city",
+        network=NetworkConfig(bandwidth_bps=spec.bandwidth_bps,
+                              latency_model="city"),
     ))
     # Enough payload to fill the target block size each round.
     note = max(16, (2 * block_size) // max(1, num_users * 2))

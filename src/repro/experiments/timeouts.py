@@ -19,7 +19,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.common.params import ProtocolParams, TEST_PARAMS
-from repro.experiments.harness import Simulation, SimulationConfig
+from repro.experiments.harness import NetworkConfig, Simulation, SimulationConfig
 
 
 @dataclass(frozen=True)
@@ -54,7 +54,7 @@ def measure_timeouts(num_users: int = 40, *, rounds: int = 3, seed: int = 0,
     params = params if params is not None else TEST_PARAMS
     sim = Simulation(SimulationConfig(
         num_users=num_users, params=params, seed=seed,
-        bandwidth_bps=20e6, latency_model="city",
+        network=NetworkConfig(bandwidth_bps=20e6, latency_model="city"),
     ))
     for _ in range(rounds):
         sim.submit_payments(min(100, num_users),

@@ -55,7 +55,7 @@ from typing import Any
 
 from repro.common.errors import SpecError
 from repro.common.params import TEST_PARAMS, ProtocolParams
-from repro.experiments.harness import Simulation, SimulationConfig
+from repro.experiments.harness import RuntimeConfig, Simulation, SimulationConfig
 from repro.experiments.metrics import format_table
 from repro.experiments.spec import TrafficSpec, register_runner
 from repro.obs.bus import TraceBus
@@ -168,7 +168,8 @@ def run_spec(spec: TrafficSpec) -> TrafficPoint:
     bus = TraceBus(max_events=0)
     sim = Simulation(SimulationConfig(
         num_users=spec.num_users, params=params, seed=spec.seed,
-        balances=balances, relay_damping=spec.relay_damping), obs=bus)
+        balances=balances,
+        runtime=RuntimeConfig(relay_damping=spec.relay_damping)), obs=bus)
     sim.run_rounds(spec.rounds)
     metrics = bus.metrics
     observed = {}

@@ -23,7 +23,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.common.params import ProtocolParams, TEST_PARAMS
-from repro.experiments.harness import Simulation, SimulationConfig
+from repro.experiments.harness import NetworkConfig, Simulation, SimulationConfig
 from repro.experiments.spec import WaitingSpec, register_runner, run_point
 
 #: Wait-window values (seconds) swept by the benchmark, spanning "far too
@@ -53,7 +53,7 @@ def run_spec(spec: WaitingSpec) -> WaitingPoint:
     )
     sim = Simulation(SimulationConfig(
         num_users=num_users, params=tuned, seed=spec.seed,
-        latency_model="city",
+        network=NetworkConfig(latency_model="city"),
     ))
     sim.submit_payments(num_users * 2, note_bytes=16)
     sim.run_rounds(rounds)

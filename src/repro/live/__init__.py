@@ -1,0 +1,31 @@
+"""Live substrate: real OS processes speaking the wire format over sockets.
+
+The second execution substrate beside :mod:`repro.sim` (see
+:mod:`repro.substrate` for the API both satisfy). Each node is its own
+process running :class:`~repro.live.clock.LiveClock` — the discrete-event
+kernel paced against the wall clock inside an asyncio loop — with a
+:class:`~repro.live.transport.LiveTransport` exchanging length-prefixed
+:mod:`repro.network.wire` frames over TCP or Unix domain sockets. The
+node agent, BA*, sortition, admission, damping, and obs layers run
+**unchanged**.
+
+Entry points:
+
+* :class:`~repro.live.cluster.LiveCluster` — the harness mirroring
+  :class:`~repro.experiments.harness.Simulation`: spawns N node
+  processes plus a coordinator, submits payments, runs R rounds, and
+  collects chains and JSONL traces over a control socket.
+* ``python -m repro.live`` — CLI wrapper around ``LiveCluster``.
+* ``python -m repro.live.node_main <config.json>`` — one node process
+  (spawned by the cluster; not usually run by hand).
+
+Wall-clock numbers from this substrate are **not comparable** to the
+virtual-time numbers from ``repro.sim`` — see ``docs/LIVE_MODE.md``.
+"""
+
+from repro.live.clock import LiveClock
+from repro.live.cluster import LiveCluster, LIVE_SMOKE_PARAMS
+from repro.live.transport import LiveTransport
+
+__all__ = ["LiveClock", "LiveCluster", "LiveTransport",
+           "LIVE_SMOKE_PARAMS"]

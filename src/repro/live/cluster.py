@@ -1,0 +1,321 @@
+"""Coordinator harness for a live cluster of node processes.
+
+:class:`LiveCluster` mirrors :class:`repro.experiments.harness.Simulation`
+for the live substrate: build it from a :class:`SimulationConfig` whose
+``substrate.kind`` is ``"live"``, queue payments, call
+:meth:`run_rounds`, then read ``chains`` / :meth:`all_chains_equal` /
+:meth:`summary` — same verbs, real processes underneath.
+
+The coordinator owns a control socket (Unix domain or TCP, matching the
+gossip transport), spawns one ``python -m repro.live.node_main`` process
+per node, and walks the conversation in :mod:`repro.live.control`:
+collect ``hello`` (listen addresses), broadcast ``peers``, await
+``ready`` from everyone (all gossip links up — no node starts while a
+peer is still dialing), broadcast ``start``, then await ``result``
+messages carrying each node's chain as encoded block bytes plus its
+trace path and transport stats. Per-node JSONL traces are merged into
+one time-sorted file suitable for ``python -m repro.conformance``.
+
+Every per-node artifact (configs, logs, traces, sockets, merged trace)
+lives under one runtime directory so a failed run leaves a complete
+post-mortem behind.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import json
+import os
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.common.params import TEST_PARAMS, ProtocolParams
+from repro.experiments.config import ConfigError, SimulationConfig, SubstrateConfig
+from repro.live.control import ControlError, MessageStream, send_message
+from repro.network.wire import decode_block
+from repro.obs.sink import read_trace
+
+#: TEST_PARAMS with all protocol timeouts shrunk 4x: in live mode the
+#: lambdas are *wall-clock seconds*, and a smoke cluster on loopback
+#: needs milliseconds, not the sim's calibrated WAN allowances. Committee
+#: sizes are untouched, so the 5-node x initial_balance=40 design point
+#: (W = 200) carries over from the sim test fixture.
+LIVE_SMOKE_PARAMS = dataclasses.replace(
+    TEST_PARAMS,
+    lambda_priority=0.25,
+    lambda_block=1.5,
+    lambda_step=0.75,
+    lambda_stepvar=0.25,
+)
+
+_LOG_TAIL_LINES = 25
+
+
+def default_live_config(num_nodes: int = 5, *, seed: int = 7,
+                        transport: str = "uds",
+                        runtime_dir: str | None = None) -> SimulationConfig:
+    """A ready-to-run live cluster config (smoke-test scale)."""
+    return SimulationConfig(
+        num_users=num_nodes,
+        params=LIVE_SMOKE_PARAMS,
+        seed=seed,
+        initial_balance=40,
+        substrate=SubstrateConfig(kind="live", transport=transport,
+                                  runtime_dir=runtime_dir),
+    )
+
+
+class LiveCluster:
+    """N node processes + this coordinator, driven like a Simulation."""
+
+    def __init__(self, config: SimulationConfig | None = None) -> None:
+        config = config if config is not None else default_live_config()
+        if config.substrate.kind != "live":
+            raise ConfigError(
+                "LiveCluster requires substrate.kind == 'live' "
+                f"(got {config.substrate.kind!r}); use Simulation for "
+                "the sim substrate")
+        config.validate()
+        if config.num_malicious or config.num_observers:
+            raise ConfigError(
+                "the live substrate runs honest full nodes only "
+                "(num_malicious and num_observers must be 0)")
+        if config.population.mode != "full":
+            raise ConfigError(
+                "the live substrate requires population mode 'full' "
+                "(every process is one first-class node)")
+        self.config = config
+        self.params: ProtocolParams = config.params or LIVE_SMOKE_PARAMS
+        self.num_nodes = config.num_users
+        self.runtime_dir: Path | None = None
+        self.merged_trace_path: Path | None = None
+        self.results: dict[int, dict] = {}
+        self.chains: dict[int, list] = {}
+        self.rounds_run = 0
+        self._payments = 0
+
+    # -- Simulation-shaped surface --------------------------------------
+
+    def submit_payments(self, count: int) -> None:
+        """Queue ``count`` payments for the next :meth:`run_rounds`.
+
+        Unlike the sim (which injects transactions directly), the live
+        schedule is *replayed deterministically inside every node
+        process* from the shared seed; this just records the count the
+        ``start`` message will carry.
+        """
+        self._payments += count
+
+    def run_rounds(self, rounds: int,
+                   time_limit: float | None = None) -> None:
+        """Spawn the cluster, run ``rounds`` rounds, collect results."""
+        asyncio.run(self._run(rounds, time_limit))
+
+    def all_chains_equal(self) -> bool:
+        """Byte-identical committed chains on every process."""
+        blocks = [self.results[i]["blocks"] for i in sorted(self.results)]
+        return bool(blocks) and all(b == blocks[0] for b in blocks[1:])
+
+    def summary(self) -> dict:
+        heights = {i: r["height"] for i, r in sorted(self.results.items())}
+        return {
+            "substrate": "live",
+            "transport": self.config.substrate.transport,
+            "nodes": self.num_nodes,
+            "rounds": self.rounds_run,
+            "payments": self._payments,
+            "heights": heights,
+            "chains_equal": self.all_chains_equal(),
+            "tips": {i: r["tip"].hex()[:16]
+                     for i, r in sorted(self.results.items())},
+            "conformance_ok": all(r["conformance_ok"]
+                                  for r in self.results.values()),
+            "conformance_violations": sum(r["conformance_violations"]
+                                          for r in self.results.values()),
+            "trace_events_dropped": sum(r["dropped_events"]
+                                        for r in self.results.values()),
+            "wire_bytes_sent": sum(r["stats"]["wire_bytes_sent"]
+                                   for r in self.results.values()),
+            "messages_sent": sum(r["stats"]["messages_sent"]
+                                 for r in self.results.values()),
+            "rx_dropped": sum(r["stats"]["rx_dropped"]
+                              for r in self.results.values()),
+            "garbage_frames": sum(r["stats"]["garbage_frames"]
+                                  for r in self.results.values()),
+            "merged_trace": (str(self.merged_trace_path)
+                             if self.merged_trace_path else None),
+            "runtime_dir": str(self.runtime_dir),
+        }
+
+    # -- orchestration --------------------------------------------------
+
+    def _node_config(self, index: int, control) -> dict:
+        sub = self.config.substrate
+        runtime_dir = str(self.runtime_dir)
+        return {
+            "index": index,
+            "num_nodes": self.num_nodes,
+            "seed": self.config.seed,
+            "params": dataclasses.asdict(self.params),
+            "transport": sub.transport,
+            "runtime_dir": runtime_dir,
+            "host": sub.host,
+            "base_port": sub.base_port,
+            "control": control,
+            "initial_balance": self.config.initial_balance,
+            "trace": str(Path(runtime_dir) / f"trace-{index}.jsonl"),
+            "connect_timeout": sub.connect_timeout,
+            "drain_budget": sub.drain_budget,
+            "rx_queue_limit": sub.rx_queue_limit,
+            "use_admission": self.config.runtime.use_admission,
+            "relay_damping": self.config.runtime.relay_damping,
+        }
+
+    def _log_tails(self) -> str:
+        """Last lines of every node log — the post-mortem on failure."""
+        pieces = []
+        for path in sorted((self.runtime_dir or Path(".")).glob("node-*.log")):
+            try:
+                lines = path.read_text(errors="replace").splitlines()
+            except OSError:
+                continue
+            tail = "\n".join(lines[-_LOG_TAIL_LINES:])
+            if tail.strip():
+                pieces.append(f"--- {path.name} ---\n{tail}")
+        return "\n".join(pieces) if pieces else "(node logs empty)"
+
+    async def _run(self, rounds: int, time_limit: float | None) -> None:
+        sub = self.config.substrate
+        n = self.num_nodes
+        self.runtime_dir = Path(
+            sub.runtime_dir or tempfile.mkdtemp(prefix="repro-live-"))
+        self.runtime_dir.mkdir(parents=True, exist_ok=True)
+
+        hello_queue: asyncio.Queue = asyncio.Queue()
+
+        async def on_connect(reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> None:
+            stream = MessageStream(reader)
+            try:
+                hello = await stream.expect("hello",
+                                            timeout=sub.connect_timeout)
+            except ControlError:
+                writer.close()
+                return
+            await hello_queue.put(
+                (hello["index"], hello["address"], stream, writer))
+
+        if sub.transport == "uds":
+            control = str(self.runtime_dir / "ctrl.sock")
+            server = await asyncio.start_unix_server(on_connect,
+                                                     path=control)
+        else:
+            server = await asyncio.start_server(on_connect, host=sub.host,
+                                                port=0)
+            control = [sub.host, server.sockets[0].getsockname()[1]]
+
+        procs: list[asyncio.subprocess.Process] = []
+        log_files = []
+        nodes: dict[int, tuple[MessageStream, asyncio.StreamWriter]] = {}
+        try:
+            env = dict(os.environ)
+            import repro
+            src_root = str(Path(repro.__file__).resolve().parents[1])
+            env["PYTHONPATH"] = (
+                src_root + os.pathsep + env["PYTHONPATH"]
+                if env.get("PYTHONPATH") else src_root)
+            for i in range(n):
+                cfg_path = self.runtime_dir / f"node-{i}.json"
+                cfg_path.write_text(
+                    json.dumps(self._node_config(i, control), indent=1),
+                    encoding="utf-8")
+                log = open(self.runtime_dir / f"node-{i}.log", "wb")
+                log_files.append(log)
+                procs.append(await asyncio.create_subprocess_exec(
+                    sys.executable, "-m", "repro.live.node_main",
+                    str(cfg_path), stdout=log, stderr=log, env=env))
+
+            addresses: dict[str, object] = {}
+            for _ in range(n):
+                index, address, stream, writer = await asyncio.wait_for(
+                    hello_queue.get(), timeout=sub.connect_timeout)
+                nodes[index] = (stream, writer)
+                addresses[str(index)] = address
+            for index in range(n):
+                await send_message(nodes[index][1],
+                                   {"type": "peers",
+                                    "addresses": addresses})
+            for index in range(n):
+                await nodes[index][0].expect("ready",
+                                             timeout=sub.connect_timeout)
+
+            per_round = (self.params.lambda_block
+                         + self.params.lambda_step * self.params.max_steps)
+            deadline = time_limit or per_round * (rounds + 1)
+            for index in range(n):
+                await send_message(nodes[index][1],
+                                   {"type": "start",
+                                    "payments": self._payments,
+                                    "rounds": rounds,
+                                    "deadline": deadline})
+            results: dict[int, dict] = {}
+            for index in range(n):
+                results[index] = await nodes[index][0].expect(
+                    "result", timeout=deadline + 30.0)
+            await asyncio.wait_for(
+                asyncio.gather(*(p.wait() for p in procs)), timeout=30.0)
+        except Exception as exc:
+            raise RuntimeError(
+                f"live cluster failed during orchestration: {exc!r}\n"
+                f"{self._log_tails()}") from exc
+        finally:
+            for proc in procs:
+                if proc.returncode is None:
+                    proc.kill()
+            for _, writer in nodes.values():
+                writer.close()
+            server.close()
+            await server.wait_closed()
+            for log in log_files:
+                log.close()
+
+        self.results = results
+        self.rounds_run = rounds
+        self.chains = {
+            index: [decode_block(raw) for raw in result["blocks"]]
+            for index, result in results.items()
+        }
+        self.merged_trace_path = self._merge_traces(
+            [results[index]["trace"] for index in sorted(results)])
+
+    # -- trace merging --------------------------------------------------
+
+    def _merge_traces(self, paths: list[str]) -> Path:
+        """One time-sorted JSONL trace across all nodes.
+
+        Events keep their per-node ``node`` field (the conformance
+        checker demultiplexes on it); the merged snapshot carries only
+        the summed loss counter, which is what completeness checks read.
+        """
+        events: list[dict] = []
+        dropped = 0
+        for path in paths:
+            node_events, snapshot = read_trace(path)
+            events.extend(node_events)
+            if snapshot:
+                dropped += int(snapshot.get("dropped_events", 0) or 0)
+                gauges = snapshot.get("gauges", {})
+                dropped += int(gauges.get("obs.sink_dropped", 0) or 0)
+        events.sort(key=lambda record: float(record.get("t", 0.0)))
+        out = Path(self.runtime_dir) / "merged.jsonl"
+        with out.open("w", encoding="utf-8") as handle:
+            for record in events:
+                handle.write(json.dumps({"type": "event", **record},
+                                        separators=(",", ":")) + "\n")
+            handle.write(json.dumps(
+                {"type": "snapshot",
+                 "metrics": {"dropped_events": dropped}},
+                separators=(",", ":")) + "\n")
+        return out

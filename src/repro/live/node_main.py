@@ -1,0 +1,284 @@
+"""One live node process: ``python -m repro.live.node_main <config.json>``.
+
+Spawned by :class:`repro.live.cluster.LiveCluster`, one per node. The
+process builds the exact stack the sim harness builds — keys, chain,
+admission, damping, obs, conformance — but on a :class:`LiveClock` and
+a :class:`LiveTransport`, then follows the control conversation in
+:mod:`repro.live.control`: hello → peers → (dial/accept gossip links)
+→ ready → start → run rounds → result.
+
+Determinism across processes comes from construction, not luck: every
+process derives the same keypairs and genesis from the shared seed, and
+the payment schedule is replayed from the same seeded RNG stream in
+every process with each node submitting only its own share.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.common.encoding import decode, encode
+from repro.common.params import ProtocolParams
+from repro.conformance.monitor import ConformanceMonitor
+from repro.crypto.backend import CachedBackend, FastBackend
+from repro.crypto.hashing import H
+from repro.ledger.blockchain import Blockchain
+from repro.ledger.transaction import make_transaction
+from repro.live.clock import LiveClock
+from repro.live.control import ControlError, MessageStream, send_message
+from repro.live.transport import LiveTransport, PeerLink
+from repro.network.wire import FrameDecoder, encode_block, encode_frame
+from repro.node.agent import Node
+from repro.node.registry import BlockRegistry
+from repro.obs.bus import TraceBus
+from repro.obs.sink import JsonlTraceSink
+from repro.runtime.admission import AdmissionConfig, attach_admission
+from repro.runtime.cache import VerificationCache
+from repro.runtime.damping import attach_damping
+
+
+async def _read_hello(reader: asyncio.StreamReader
+                      ) -> tuple[dict, list[bytes], bytes]:
+    """First frame on a gossip connection identifies the peer.
+
+    Returns ``(hello, extra_frames, residue)`` — any bytes the hello
+    read pulled in beyond the hello itself are handed back so no early
+    gossip frame is lost to the handshake.
+    """
+    decoder = FrameDecoder()
+    while True:
+        data = await reader.read(65536)
+        if not data:
+            raise ControlError("peer closed before hello")
+        frames = decoder.feed(data)
+        if frames:
+            hello = decode(frames[0])
+            if (not isinstance(hello, dict)
+                    or hello.get("type") != "peer-hello"):
+                raise ControlError(f"expected peer-hello, got {hello!r}")
+            return hello, frames[1:], bytes(decoder._buffer)
+
+
+class NodeProcess:
+    """State machine for one live node."""
+
+    def __init__(self, cfg: dict) -> None:
+        self.cfg = cfg
+        self.index: int = cfg["index"]
+        self.num_nodes: int = cfg["num_nodes"]
+        self.seed: int = cfg["seed"]
+        self.params = ProtocolParams(**cfg["params"])
+        self.clock = LiveClock(tick=cfg.get("tick", 0.25))
+        self.transport = LiveTransport(
+            self.index, self.clock,
+            drain_budget=cfg.get("drain_budget", 128),
+            rx_queue_limit=cfg.get("rx_queue_limit", 4096))
+        self._links_complete = asyncio.Event()
+        self._server: asyncio.base_events.Server | None = None
+
+    # -- gossip link establishment --------------------------------------
+
+    def _check_links(self) -> None:
+        if len(self.transport.links) >= self.num_nodes - 1:
+            self._links_complete.set()
+
+    async def _on_peer_connect(self, reader: asyncio.StreamReader,
+                               writer: asyncio.StreamWriter) -> None:
+        hello, extra, residue = await _read_hello(reader)
+        peer = hello["index"]
+        link = PeerLink(self.transport, peer, reader, writer)
+        self.transport.add_link(link)
+        link.start()
+        for payload in extra:
+            self.transport._on_payload(peer, payload)
+        for payload in link.decoder.feed(residue):
+            self.transport._on_payload(peer, payload)
+        self._check_links()
+
+    async def _listen(self) -> str | list:
+        cfg = self.cfg
+        if cfg["transport"] == "uds":
+            path = str(Path(cfg["runtime_dir"])
+                       / f"node-{self.index}.sock")
+            self._server = await asyncio.start_unix_server(
+                self._on_peer_connect, path=path)
+            return path
+        port = (cfg["base_port"] + self.index) if cfg["base_port"] else 0
+        self._server = await asyncio.start_server(
+            self._on_peer_connect, host=cfg["host"], port=port)
+        bound_port = self._server.sockets[0].getsockname()[1]
+        return [cfg["host"], bound_port]
+
+    async def _dial_peer(self, peer: int, address) -> None:
+        if self.cfg["transport"] == "uds":
+            reader, writer = await asyncio.open_unix_connection(address)
+        else:
+            reader, writer = await asyncio.open_connection(
+                address[0], address[1])
+        writer.write(encode_frame(encode({"type": "peer-hello",
+                                          "index": self.index})))
+        await writer.drain()
+        link = PeerLink(self.transport, peer, reader, writer)
+        self.transport.add_link(link)
+        link.start()
+        self._check_links()
+
+    # -- the protocol stack (mirrors the sim harness wiring) ------------
+
+    def _build_node(self) -> Node:
+        cfg = self.cfg
+        inner = FastBackend()
+        self.verification_cache = VerificationCache()
+        backend = CachedBackend(inner, self.verification_cache)
+        self.keypairs = [
+            backend.keypair(H(b"user-key", encode([self.seed, i])))
+            for i in range(self.num_nodes)
+        ]
+        genesis_seed = H(b"genesis", encode(self.seed))
+        initial_balances = {kp.public: cfg["initial_balance"]
+                            for kp in self.keypairs}
+        chain = Blockchain(initial_balances, genesis_seed,
+                           self.params.seed_refresh_interval)
+        self.bus = TraceBus()
+        self.bus.bind_clock(lambda: self.clock.now)
+        self.transport.obs = self.bus
+        self.sink = JsonlTraceSink(cfg["trace"])
+        self.bus.add_sink(self.sink)
+        self.monitor = ConformanceMonitor(registry=self.bus.metrics)
+        self.bus.add_sink(self.monitor)
+
+        def harvest(bus: TraceBus) -> None:
+            metrics = bus.metrics
+            for name, value in self.transport.stats().items():
+                metrics.set_gauge("live." + name, value)
+            metrics.set_gauge("live.max_lag_s", self.clock.max_lag)
+            metrics.set_gauge("simloop.events_processed",
+                              self.clock.events_processed)
+            metrics.set_gauge("simloop.now", self.clock.now)
+            self.monitor.harvest(metrics)
+
+        self.bus.add_harvester(harvest)
+        node = Node(
+            index=self.index, env=self.clock,
+            keypair=self.keypairs[self.index], backend=backend,
+            params=self.params, chain=chain, interface=self.transport,
+            registry=BlockRegistry(), obs=self.bus,
+        )
+        index_of = {kp.public: i for i, kp in enumerate(self.keypairs)}
+        if cfg.get("use_admission", True):
+            attach_admission(node, AdmissionConfig(), directory=None,
+                             index_of=index_of)
+        if cfg.get("relay_damping", True):
+            attach_damping(node)
+        return node
+
+    def _submit_payments(self, node: Node, count: int) -> None:
+        """Replay the cluster-wide schedule; submit only our share.
+
+        Every process draws the identical RNG stream, so the schedule
+        (sender k % n, seeded recipient draw, per-sender nonces) is the
+        same everywhere — the live analogue of the sim harness's
+        ``submit_payments``.
+        """
+        n = self.num_nodes
+        rng = np.random.default_rng(self.seed)
+        nonces: dict[int, int] = {}
+        for k in range(count):
+            sender_index = k % n
+            recipient_index = int(rng.integers(n - 1))
+            if recipient_index >= sender_index:
+                recipient_index += 1
+            nonce = nonces.get(sender_index, 0)
+            nonces[sender_index] = nonce + 1
+            if sender_index != self.index:
+                continue
+            keypair = self.keypairs[sender_index]
+            tx = make_transaction(
+                node.backend, keypair.secret, keypair.public,
+                self.keypairs[recipient_index].public, 1, nonce)
+            node.submit_transaction(tx)
+
+    # -- main -----------------------------------------------------------
+
+    async def run(self) -> None:
+        cfg = self.cfg
+        timeout = cfg.get("connect_timeout", 30.0)
+        address = await self._listen()
+        if cfg["transport"] == "uds":
+            reader, writer = await asyncio.open_unix_connection(
+                cfg["control"])
+        else:
+            reader, writer = await asyncio.open_connection(
+                cfg["control"][0], cfg["control"][1])
+        control = MessageStream(reader)
+        await send_message(writer, {"type": "hello", "index": self.index,
+                                    "address": address})
+        peers = await control.expect("peers", timeout=timeout)
+        for peer_key, peer_address in peers["addresses"].items():
+            peer = int(peer_key)
+            if peer < self.index:
+                await self._dial_peer(peer, peer_address)
+        if self.num_nodes > 1:
+            await asyncio.wait_for(self._links_complete.wait(),
+                                   timeout=timeout)
+        node = self._build_node()
+        await send_message(writer, {"type": "ready", "index": self.index})
+        start = await control.expect("start", timeout=timeout)
+        rounds: int = start["rounds"]
+        if start["payments"]:
+            self._submit_payments(node, start["payments"])
+        process = node.start(rounds)
+        per_round = (self.params.lambda_block
+                     + self.params.lambda_step * self.params.max_steps)
+        deadline = start.get("deadline") or per_round * (rounds + 1)
+        await self.clock.run_async(stop_when=lambda: process.done,
+                                   deadline=deadline)
+        chain = node.chain
+        blocks = [encode_block(chain.block_at(r))
+                  for r in range(1, chain.height + 1)]
+        verdict = self.monitor.verdict()
+        self.bus.close()
+        await send_message(writer, {
+            "type": "result",
+            "index": self.index,
+            "height": chain.height,
+            "tip": chain.tip_hash,
+            "blocks": blocks,
+            "halted": node.halted,
+            "trace": cfg["trace"],
+            "conformance_ok": verdict.ok,
+            "conformance_violations": len(verdict.violations),
+            "dropped_events": (self.bus.dropped_events
+                               + self.sink.dropped),
+            "stats": {key: int(value) for key, value
+                      in self.transport.stats().items()},
+        })
+        await self.transport.close()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except Exception:
+            pass
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = argv if argv is not None else sys.argv[1:]
+    if len(argv) != 1:
+        print("usage: python -m repro.live.node_main <config.json>",
+              file=sys.stderr)
+        return 2
+    cfg = json.loads(Path(argv[0]).read_text(encoding="utf-8"))
+    asyncio.run(NodeProcess(cfg).run())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

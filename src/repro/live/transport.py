@@ -1,0 +1,286 @@
+"""Socket-backed gossip transport for live node processes.
+
+:class:`LiveTransport` exposes the exact
+:class:`repro.network.gossip.NetworkInterface` surface the node agent
+and admission gate assign into (``broadcast``, ``relay_policy``,
+``ingress``, ``disconnected``, the metric counters), but moves bytes
+over real stream connections: one :class:`PeerLink` per peer, each with
+a framed reader task and a queued writer task.
+
+Delivery semantics mirror the sim interface deliberately —
+validate-before-relay (§8.4), dedup by ``msg_id`` *after* the ingress
+gate (a rejected copy does not poison a later clean one), synchronous
+dispatch through ``relay_policy``. Two live-only concerns are added:
+
+* **Global msg_id uniqueness** — every process counts envelopes from
+  zero, so locally-originated envelopes are re-stamped with an
+  index-namespaced id (``(index << 40) | local_seq``) at broadcast;
+  relayed envelopes keep their origin's id (that is what dedup keys on).
+* **Bounded, budgeted ingestion** — socket readers append to a bounded
+  receive queue and schedule a drain on the clock; each drain processes
+  at most ``drain_budget`` envelopes before rescheduling itself, so one
+  chatty peer cannot starve protocol timers.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+from collections import deque
+from typing import Callable
+
+from repro.live.clock import LiveClock
+from repro.network.message import Envelope
+from repro.network.wire import (
+    FrameDecoder,
+    WireError,
+    decode_envelope,
+    encode_envelope,
+    encode_frame,
+)
+
+#: Bits reserved for the per-process envelope sequence number; the node
+#: index occupies the bits above, making ids globally unique without
+#: coordination for clusters up to 2**23 nodes and 2**40 messages.
+MSG_ID_SEQ_BITS = 40
+
+
+class PeerLink:
+    """One live connection: framed reader + queued writer, both tasks."""
+
+    def __init__(self, transport: "LiveTransport", peer: int,
+                 reader: asyncio.StreamReader,
+                 writer: asyncio.StreamWriter) -> None:
+        self.transport = transport
+        self.peer = peer
+        self.reader = reader
+        self.writer = writer
+        self.decoder = FrameDecoder()
+        self.closed = False
+        self._tasks: list[asyncio.Task] = []
+        #: Per-peer outbound queue: broadcast never blocks on a slow
+        #: peer; its writer task drains the queue at the socket's pace.
+        self._outbound: asyncio.Queue[bytes | None] = asyncio.Queue()
+
+    def start(self) -> None:
+        self._tasks = [
+            asyncio.create_task(self._read_loop(),
+                                name=f"link-read-{self.peer}"),
+            asyncio.create_task(self._write_loop(),
+                                name=f"link-write-{self.peer}"),
+        ]
+
+    def send(self, frame: bytes) -> None:
+        if not self.closed:
+            self._outbound.put_nowait(frame)
+
+    async def _write_loop(self) -> None:
+        try:
+            while True:
+                frame = await self._outbound.get()
+                if frame is None:
+                    break
+                self.writer.write(frame)
+                await self.writer.drain()
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            self.closed = True
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                data = await self.reader.read(65536)
+                if not data:
+                    break
+                for payload in self.decoder.feed(data):
+                    self.transport._on_payload(self.peer, payload)
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        except WireError:
+            # Desynced or malicious stream: the frame boundary is gone
+            # for good, so the connection is dropped, not resynced.
+            self.transport.garbage_streams += 1
+        finally:
+            self.closed = True
+
+    async def close(self) -> None:
+        self.closed = True
+        self._outbound.put_nowait(None)
+        for task in self._tasks:
+            task.cancel()
+        for task in self._tasks:
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+        try:
+            self.writer.close()
+            await self.writer.wait_closed()
+        except Exception:
+            pass
+
+
+class LiveTransport:
+    """A node's gossip attachment over real sockets.
+
+    Satisfies :class:`repro.substrate.Transport`; the node wires in via
+    ``relay_policy`` and the admission gate via ``ingress``, exactly as
+    with the sim interface.
+    """
+
+    def __init__(self, index: int, clock: LiveClock, *,
+                 drain_budget: int = 128, rx_queue_limit: int = 4096,
+                 obs=None) -> None:
+        self.index = index
+        self.clock = clock
+        self.obs = obs
+        self.neighbors: list[int] = []
+        self.inbox: deque[Envelope] = deque()
+        self.receive_signal = clock.signal()
+        self.relay_policy: Callable[[Envelope], bool] = lambda envelope: True
+        self.ingress: Callable[[Envelope, int], bool] | None = None
+        self.disconnected = False
+        #: Logical bytes (the calibrated envelope sizes the sim charges),
+        #: counted per peer transmission — same accounting as the sim
+        #: interface, so cost experiments read either substrate alike.
+        self.bytes_sent = 0
+        self.messages_sent = 0
+        #: Actual frame bytes handed to the sockets (wire truth).
+        self.wire_bytes_sent = 0
+        self.drain_budget = drain_budget
+        self.rx_queue_limit = rx_queue_limit
+        self.rx_dropped = 0
+        self.garbage_frames = 0
+        self.garbage_streams = 0
+        self._links: dict[int, PeerLink] = {}
+        self._seen: set[int] = set()
+        self._rx: deque[tuple[int, Envelope, bytes]] = deque()
+        self._drain_scheduled = False
+        self._local_seq = 0
+
+    # -- link management ------------------------------------------------
+
+    def add_link(self, link: PeerLink) -> None:
+        self._links[link.peer] = link
+        self.neighbors = sorted(self._links)
+
+    @property
+    def links(self) -> dict[int, PeerLink]:
+        return self._links
+
+    async def close(self) -> None:
+        self.disconnected = True
+        for link in self._links.values():
+            await link.close()
+
+    # -- sending --------------------------------------------------------
+
+    def broadcast(self, envelope: Envelope) -> None:
+        """Originate ``envelope``: re-stamp its id, frame, send to all."""
+        if self.disconnected:
+            return
+        stamped = dataclasses.replace(
+            envelope,
+            msg_id=(self.index << MSG_ID_SEQ_BITS) | self._local_seq)
+        self._local_seq += 1
+        self._seen.add(stamped.msg_id)
+        self._send_frames(encode_frame(encode_envelope(stamped)),
+                          stamped, exclude=None)
+
+    def _send_frames(self, frame: bytes, envelope: Envelope,
+                     exclude: int | None) -> None:
+        metrics = self.obs.metrics if self.obs is not None else None
+        for peer, link in self._links.items():
+            if peer == exclude or link.closed:
+                continue
+            link.send(frame)
+            self.bytes_sent += envelope.size
+            self.messages_sent += 1
+            self.wire_bytes_sent += len(frame)
+            if metrics is not None:
+                metrics.inc("gossip.sent." + envelope.kind)
+                metrics.inc("gossip.sent_bytes." + envelope.kind,
+                            envelope.size)
+
+    # -- receiving ------------------------------------------------------
+
+    def _on_payload(self, peer: int, payload: bytes) -> None:
+        """Socket reader handoff: decode, enqueue, schedule a drain.
+
+        Runs on the asyncio side (never inside a protocol callback);
+        protocol code only ever sees envelopes from :meth:`_drain`,
+        which the clock fires like any other event.
+        """
+        try:
+            envelope = decode_envelope(payload)
+        except WireError:
+            self.garbage_frames += 1
+            return
+        if len(self._rx) >= self.rx_queue_limit:
+            self._rx.popleft()
+            self.rx_dropped += 1
+        self._rx.append((peer, envelope, payload))
+        if not self._drain_scheduled:
+            self._drain_scheduled = True
+            self.clock.schedule_now(self._drain)
+        self.clock.kick()
+
+    def _drain(self) -> None:
+        self._drain_scheduled = False
+        budget = self.drain_budget
+        while self._rx and budget > 0:
+            budget -= 1
+            peer, envelope, payload = self._rx.popleft()
+            self._deliver(peer, envelope, payload)
+        if self._rx and not self._drain_scheduled:
+            self._drain_scheduled = True
+            self.clock.schedule_now(self._drain)
+
+    def _deliver(self, from_peer: int, envelope: Envelope,
+                 payload: bytes) -> None:
+        """Mirror of ``NetworkInterface._deliver``, relay over sockets."""
+        metrics = self.obs.metrics if self.obs is not None else None
+        if self.disconnected or envelope.msg_id in self._seen:
+            if metrics is not None and not self.disconnected:
+                metrics.inc("gossip.dup_dropped")
+            return
+        ingress = self.ingress
+        if ingress is not None and not ingress(envelope, from_peer):
+            # Rejected before joining the seen-set: a later clean copy
+            # of the same message can still be accepted.
+            if metrics is not None:
+                metrics.inc("gossip.ingress_rejected")
+            return
+        self._seen.add(envelope.msg_id)
+        self.inbox.append(envelope)
+        self.receive_signal.pulse()
+        if metrics is not None:
+            metrics.inc("gossip.recv." + envelope.kind)
+            metrics.inc("gossip.recv_bytes." + envelope.kind, envelope.size)
+        if self.relay_policy(envelope):
+            # Forward the original payload bytes (identity relay, no
+            # re-encode); the origin's msg_id rides along for dedup.
+            self._send_frames(encode_frame(payload), envelope,
+                              exclude=from_peer)
+            if metrics is not None:
+                metrics.inc("gossip.relayed." + envelope.kind)
+
+    # -- maintenance (NetworkInterface parity) --------------------------
+
+    def prune_seen(self, watermark: int, horizon_rounds: int) -> None:
+        """Live dedup ids are origin-namespaced, not globally monotone,
+        so the sim's watermark pruning does not apply; the seen-set is
+        bounded by the run length instead (cleared with the process)."""
+
+    def stats(self) -> dict:
+        return {
+            "bytes_sent": self.bytes_sent,
+            "messages_sent": self.messages_sent,
+            "wire_bytes_sent": self.wire_bytes_sent,
+            "rx_dropped": self.rx_dropped,
+            "garbage_frames": self.garbage_frames,
+            "garbage_streams": self.garbage_streams,
+            "inbox_depth": len(self.inbox),
+            "links": len(self._links),
+        }

@@ -4,12 +4,27 @@ The simulator moves Python objects and charges bandwidth using calibrated
 size constants (matching the paper's reported ~200-byte priority messages
 and ~250-byte votes). This module provides the real, deterministic byte
 encodings a deployment would put on the wire — used for (a) size-constant
-calibration tests, (b) persisting chains, and (c) hashing/signing
-consistency guarantees (everything routes through the canonical codec).
+calibration tests, (b) persisting chains, (c) hashing/signing consistency
+guarantees (everything routes through the canonical codec), and (d) the
+live substrate (:mod:`repro.live`), whose node processes exchange these
+bytes over real TCP/Unix-domain sockets.
+
+Two layers live here:
+
+* **Payload codecs** — ``encode_vote``/``decode_vote`` and friends, one
+  pair per protocol message type, plus ``encode_envelope``/
+  ``decode_envelope`` wrapping a payload with its gossip routing
+  metadata (msg_id, origin, kind, logical size).
+* **Framing** — :func:`encode_frame` and :class:`FrameDecoder`
+  length-prefix payloads so they survive a TCP byte stream: reads may
+  arrive split or coalesced arbitrarily, and the decoder reassembles
+  exact payload boundaries. Oversized or garbage frames raise
+  :class:`WireError` instead of silently desyncing the stream.
 """
 
 from __future__ import annotations
 
+import struct
 from typing import Any
 
 from repro.baplus.certificate import Certificate
@@ -154,3 +169,127 @@ def wire_size(obj: Transaction | VoteMessage | PriorityMessage | Block
     if isinstance(obj, Certificate):
         return len(encode_certificate(obj))
     raise TypeError(f"no wire format for {type(obj).__name__}")
+
+
+# --- Envelopes (gossip routing metadata + payload) --------------------------
+
+#: Per-kind payload codecs: the envelope codec dispatches through this
+#: table, so a kind without a real byte encoding (e.g. the in-simulation
+#: recovery/chain-sync extension messages) fails loudly at encode time.
+ENVELOPE_CODECS: dict[str, tuple] = {
+    "tx": (encode_transaction, decode_transaction),
+    "vote": (encode_vote, decode_vote),
+    "priority": (encode_priority, decode_priority),
+    "block": (encode_block, decode_block),
+    "cert": (encode_certificate, decode_certificate),
+}
+
+
+def encode_envelope(envelope) -> bytes:
+    """Serialize a gossip envelope (metadata + payload) to bytes.
+
+    The logical ``size`` (the simulator's calibrated bandwidth charge)
+    rides along so both substrates account identically. Raises
+    :class:`WireError` for kinds without a registered payload codec.
+    """
+    codec = ENVELOPE_CODECS.get(envelope.kind)
+    if codec is None:
+        raise WireError(
+            f"no wire codec for envelope kind {envelope.kind!r} "
+            f"(known: {sorted(ENVELOPE_CODECS)})")
+    return encode(["wenv", envelope.msg_id, envelope.origin, envelope.kind,
+                   codec[0](envelope.payload), envelope.size])
+
+
+def decode_envelope(data: bytes):
+    """Inverse of :func:`encode_envelope`; returns a fresh ``Envelope``."""
+    from repro.network.message import Envelope
+
+    try:
+        fields = _expect(decode(data), "wenv")
+        _, msg_id, origin, kind, payload_bytes, size = fields
+    except (ValueError, TypeError) as exc:
+        raise WireError(f"bad envelope payload: {exc}") from exc
+    codec = ENVELOPE_CODECS.get(kind)
+    if codec is None:
+        raise WireError(f"unknown envelope kind {kind!r}")
+    if not isinstance(msg_id, int) or not isinstance(size, int):
+        raise WireError("envelope msg_id/size must be integers")
+    try:
+        payload = codec[1](payload_bytes)
+    except (ValueError, TypeError) as exc:
+        raise WireError(f"bad {kind} envelope payload: {exc}") from exc
+    return Envelope(origin=origin, kind=kind, payload=payload, size=size,
+                    msg_id=msg_id)
+
+
+# --- Framing (length-prefixed, stream-safe) ---------------------------------
+
+#: Frame header: 4-byte big-endian payload length.
+FRAME_HEADER = struct.Struct(">I")
+
+#: Default ceiling on one frame's payload. Generous against the largest
+#: legitimate message (a ~1 MB block plus envelope overhead) while small
+#: enough that a garbage length prefix is detected immediately instead
+#: of stalling a reader waiting for gigabytes that will never come.
+MAX_FRAME_BYTES = 8 * 1024 * 1024
+
+
+def encode_frame(payload: bytes,
+                 max_bytes: int = MAX_FRAME_BYTES) -> bytes:
+    """Length-prefix ``payload`` for transmission over a byte stream."""
+    if not payload:
+        raise WireError("cannot frame an empty payload")
+    if len(payload) > max_bytes:
+        raise WireError(
+            f"frame payload of {len(payload)} bytes exceeds the "
+            f"{max_bytes}-byte limit")
+    return FRAME_HEADER.pack(len(payload)) + payload
+
+
+class FrameDecoder:
+    """Incremental frame reassembly over an arbitrary chunking.
+
+    Feed raw stream bytes as they arrive (split or coalesced however the
+    transport pleases); :meth:`feed` returns every complete payload the
+    new bytes finished. A length prefix of zero or beyond ``max_bytes``
+    raises :class:`WireError` — a desynced or malicious stream is
+    unrecoverable, so the connection must be dropped, not resynced.
+    """
+
+    __slots__ = ("max_bytes", "_buffer", "frames_decoded", "bytes_fed")
+
+    def __init__(self, max_bytes: int = MAX_FRAME_BYTES) -> None:
+        if max_bytes < 1:
+            raise WireError("max_bytes must be >= 1")
+        self.max_bytes = max_bytes
+        self._buffer = bytearray()
+        self.frames_decoded = 0
+        self.bytes_fed = 0
+
+    @property
+    def buffered(self) -> int:
+        """Bytes held waiting for the rest of a frame."""
+        return len(self._buffer)
+
+    def feed(self, data: bytes) -> list[bytes]:
+        """Absorb ``data``; return all payloads completed by it."""
+        self.bytes_fed += len(data)
+        self._buffer += data
+        frames: list[bytes] = []
+        header = FRAME_HEADER.size
+        while len(self._buffer) >= header:
+            (length,) = FRAME_HEADER.unpack_from(self._buffer)
+            if length == 0:
+                raise WireError("zero-length frame")
+            if length > self.max_bytes:
+                raise WireError(
+                    f"frame length {length} exceeds the "
+                    f"{self.max_bytes}-byte limit (desynced or garbage "
+                    f"stream)")
+            if len(self._buffer) < header + length:
+                break
+            frames.append(bytes(self._buffer[header:header + length]))
+            del self._buffer[:header + length]
+            self.frames_decoded += 1
+        return frames

@@ -1,0 +1,35 @@
+"""Substrate API: the seam between protocol code and what carries it.
+
+The node agent, BA*, sortition, admission, damping, and obs layers never
+cared whether time is virtual or wall-clock, or whether messages cross a
+heap or a socket — they only ever used two object shapes:
+
+* a **clock** exposing the :class:`repro.sim.loop.Environment` scheduling
+  API (``now``, ``process``, ``timeout``, ``event``, ``signal``,
+  ``any_of``, ``schedule``, ``schedule_now``), and
+* a **transport** exposing the
+  :class:`repro.network.gossip.NetworkInterface` surface (``broadcast``
+  plus the ``relay_policy``/``ingress``/``disconnected`` attachment
+  points the node and admission gate assign into).
+
+This module names that implicit seam as explicit
+:class:`typing.Protocol` types — :class:`Clock`, :class:`Transport`, and
+the :class:`Substrate` pairing that a harness builds per node — so a
+second execution substrate is a *swap*, not a fork:
+
+========== ============================== ===========================
+substrate  clock                          transport
+========== ============================== ===========================
+``sim``    ``repro.sim.loop.Environment`` ``repro.network.gossip``
+           (virtual, deterministic)       ``.NetworkInterface``
+``live``   ``repro.live.clock.LiveClock`` ``repro.live.transport``
+           (wall clock, asyncio)          ``.LiveTransport``
+========== ============================== ===========================
+
+Both are checked against these protocols in ``tests/test_substrate.py``.
+"""
+
+from repro.substrate.api import Clock, Substrate, Transport
+from repro.substrate.sim import SimSubstrate
+
+__all__ = ["Clock", "Substrate", "Transport", "SimSubstrate"]

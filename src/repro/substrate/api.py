@@ -1,0 +1,86 @@
+"""Clock / Transport / Substrate protocols.
+
+These are *structural* (``typing.Protocol``) rather than nominal base
+classes on purpose: ``repro.sim.loop.Environment`` and
+``repro.network.gossip.NetworkInterface`` predate this module and
+already satisfy them unchanged, and the live implementations in
+:mod:`repro.live` satisfy them by construction. ``runtime_checkable``
+lets tests assert conformance with plain ``isinstance`` checks.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Protocol, runtime_checkable
+
+from repro.network.message import Envelope
+
+
+@runtime_checkable
+class Clock(Protocol):
+    """The scheduling surface protocol code runs against.
+
+    In the sim substrate this is the discrete-event
+    :class:`~repro.sim.loop.Environment` (virtual time, deterministic
+    ``(time, seq)`` ordering); in the live substrate it is
+    :class:`~repro.live.clock.LiveClock`, which fires the same timer
+    queue paced against ``time.time()`` inside an asyncio loop. Node
+    code cannot tell the difference — that is the point.
+    """
+
+    now: float
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> Any: ...
+
+    def schedule_now(self, callback: Callable[[], None]) -> Any: ...
+
+    def timeout(self, delay: float, value: Any = None) -> Any: ...
+
+    def event(self) -> Any: ...
+
+    def signal(self) -> Any: ...
+
+    def any_of(self, children: Iterable[Any]) -> Any: ...
+
+    def process(self, generator: Any, name: str = "") -> Any: ...
+
+
+@runtime_checkable
+class Transport(Protocol):
+    """The per-node message-passing surface.
+
+    ``broadcast`` pushes an envelope toward every peer; the node wires
+    itself in by *assigning* ``relay_policy`` (synchronous dispatch of
+    arriving envelopes, return value = relay decision) and the
+    admission gate by assigning ``ingress`` (pre-dedup accept/reject).
+    Gossip metrics (``bytes_sent``/``messages_sent``) and liveness
+    (``disconnected``) round out the surface the runtime layers read.
+    """
+
+    index: int
+    disconnected: bool
+    bytes_sent: int
+    messages_sent: int
+    # Assignment points (declared as attributes so implementations must
+    # expose them writable): the node's envelope handler and the
+    # admission gate's pre-filter.
+    relay_policy: Callable[[Envelope], bool]
+    ingress: Callable[[Envelope], bool] | None
+
+    def broadcast(self, envelope: Envelope) -> None: ...
+
+
+@runtime_checkable
+class Substrate(Protocol):
+    """One node's execution context: a clock plus its transport.
+
+    A harness (``Simulation`` or ``LiveCluster``) builds one per node
+    and hands the pair to the substrate-agnostic stack
+    (``Node(env=..., interface=...)`` → admission → damping → obs).
+    ``name`` identifies which world the numbers came from — wall-clock
+    latencies from ``"live"`` and virtual latencies from ``"sim"`` must
+    never be averaged together.
+    """
+
+    name: str
+    clock: Clock
+    transport: Transport

@@ -1,0 +1,24 @@
+"""Sim substrate adapter: the default, deterministic world.
+
+:class:`SimSubstrate` is a thin named pairing of the discrete-event
+``Environment`` with one node's ``NetworkInterface``. It adds no
+behavior — simulation runs remain byte-identical — it only makes the
+substrate explicit so harness code and tests can treat sim and live
+uniformly through :class:`repro.substrate.api.Substrate`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.network.gossip import NetworkInterface
+from repro.sim.loop import Environment
+
+
+@dataclass(frozen=True)
+class SimSubstrate:
+    """Virtual-time substrate backed by the discrete-event kernel."""
+
+    clock: Environment
+    transport: NetworkInterface
+    name: str = field(default="sim")

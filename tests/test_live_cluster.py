@@ -1,0 +1,76 @@
+"""End-to-end live cluster smoke test (marked slow; run with -m slow).
+
+Spawns five real node processes over Unix domain sockets, commits three
+rounds of BA*, and checks the acceptance bar for the live substrate:
+byte-identical chains on every process and a merged trace the reference
+state machine accepts with zero violations.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.conformance.monitor import ConformanceMonitor
+from repro.live.cluster import LiveCluster, default_live_config
+from repro.obs.sink import read_trace
+
+pytestmark = pytest.mark.slow
+
+NODES = 5
+ROUNDS = 3
+
+
+@pytest.fixture(scope="module")
+def cluster(tmp_path_factory):
+    runtime_dir = tmp_path_factory.mktemp("live-cluster")
+    config = default_live_config(NODES, seed=7,
+                                 runtime_dir=str(runtime_dir))
+    cluster = LiveCluster(config)
+    cluster.submit_payments(20)
+    cluster.run_rounds(ROUNDS)
+    return cluster
+
+
+class TestLiveCluster:
+    def test_every_process_reaches_target_height(self, cluster):
+        assert sorted(cluster.results) == list(range(NODES))
+        for result in cluster.results.values():
+            assert result["height"] == ROUNDS
+            assert not result["halted"]
+
+    def test_chains_byte_identical(self, cluster):
+        assert cluster.all_chains_equal()
+        tips = {result["tip"] for result in cluster.results.values()}
+        assert len(tips) == 1
+
+    def test_decoded_chains_agree_per_round(self, cluster):
+        reference = cluster.chains[0]
+        assert len(reference) == ROUNDS
+        for index in range(1, NODES):
+            chain = cluster.chains[index]
+            for left, right in zip(reference, chain):
+                assert left.block_hash == right.block_hash
+
+    def test_payments_actually_committed(self, cluster):
+        total_txs = sum(len(block.transactions)
+                        for block in cluster.chains[0])
+        assert total_txs > 0
+
+    def test_merged_trace_conforms_with_zero_violations(self, cluster):
+        events, snapshot = read_trace(cluster.merged_trace_path)
+        assert events, "merged trace must carry protocol events"
+        assert snapshot is not None
+        assert int(snapshot.get("dropped_events", 0)) == 0
+        monitor = ConformanceMonitor()
+        monitor.feed(events)
+        verdict = monitor.verdict()
+        assert verdict.ok, verdict.violations
+        assert verdict.nodes == NODES
+        assert len(monitor.violations) == 0
+
+    def test_no_transport_loss_on_loopback(self, cluster):
+        summary = cluster.summary()
+        assert summary["rx_dropped"] == 0
+        assert summary["garbage_frames"] == 0
+        assert summary["conformance_ok"]
+        assert summary["conformance_violations"] == 0

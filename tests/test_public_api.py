@@ -12,18 +12,38 @@ from repro.network.latency import CITIES, LatencyModel
 
 class TestPackageRoot:
     def test_version(self):
-        assert repro.__version__ == "1.0.0"
+        assert repro.__version__ == "1.1.0"
 
     def test_quickstart_names_exported(self):
         for name in ("Simulation", "SimulationConfig", "ProtocolParams",
                      "PAPER_PARAMS", "TEST_PARAMS"):
             assert hasattr(repro, name)
 
+    def test_all_is_exactly_the_public_surface(self):
+        """The facade's ``__all__`` is a contract: pin it exactly.
+
+        Adding a name here is an API decision, not a side effect of an
+        import — this test makes that decision explicit in the diff.
+        """
+        assert sorted(repro.__all__) == sorted([
+            "Simulation", "SimulationConfig",
+            "NetworkConfig", "RuntimeConfig", "PopulationConfig",
+            "SubstrateConfig", "deploy",
+            "LiveCluster",
+            "Clock", "Transport", "Substrate", "SimSubstrate",
+            "TraceBus",
+            "ProtocolParams", "PAPER_PARAMS", "TEST_PARAMS",
+            "__version__",
+        ])
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"repro.{name} in __all__ missing"
+
     def test_all_subpackages_importable(self):
         import importlib
         for package in ("common", "crypto", "sortition", "ledger", "sim",
                         "network", "baplus", "node", "adversary",
-                        "baselines", "analysis", "experiments"):
+                        "baselines", "analysis", "experiments",
+                        "substrate", "live"):
             module = importlib.import_module(f"repro.{package}")
             assert module.__doc__, f"repro.{package} lacks a docstring"
 
@@ -32,7 +52,8 @@ class TestPackageRoot:
         import importlib
         for package in ("common", "crypto", "sortition", "ledger", "sim",
                         "network", "baplus", "node", "adversary",
-                        "baselines", "analysis", "experiments"):
+                        "baselines", "analysis", "experiments",
+                        "substrate", "live"):
             module = importlib.import_module(f"repro.{package}")
             for name in getattr(module, "__all__", []):
                 assert hasattr(module, name), f"repro.{package}.{name}"

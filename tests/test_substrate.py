@@ -1,0 +1,206 @@
+"""Substrate API tests: protocols, the live clock, the live transport.
+
+``repro.substrate`` names the seam both runners satisfy; these tests
+pin that both the sim objects (``Environment``, ``NetworkInterface``,
+``SimSubstrate``) and the live objects (``LiveClock``,
+``LiveTransport``) structurally conform, and unit-test the live pieces
+that have no sim twin: wall-clock pacing, the kick, msg_id re-stamping,
+and the bounded drain.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+import pytest
+
+from repro.experiments.harness import Simulation, SimulationConfig
+from repro.live.clock import LiveClock
+from repro.live.transport import MSG_ID_SEQ_BITS, LiveTransport
+from repro.network.message import Envelope
+from repro.network.wire import encode_envelope
+from repro.substrate import Clock, SimSubstrate, Substrate, Transport
+
+
+def _envelope(origin: bytes, msg_id: int) -> Envelope:
+    return Envelope(origin=origin, kind="priority", payload=_PRIORITY,
+                    size=200, msg_id=msg_id)
+
+
+def _make_priority():
+    from repro.crypto.backend import FastBackend
+    from repro.crypto.hashing import H
+    from repro.node.proposal import PriorityMessage
+    kp = FastBackend().keypair(H(b"s-prop"))
+    return PriorityMessage(proposer=kp.public, round_number=1,
+                           vrf_hash=H(b"vrf"), vrf_proof=b"p" * 16,
+                           sub_users=1, priority=H(b"prio"))
+
+
+_PRIORITY = _make_priority()
+
+
+class _FakeLink:
+    """Just enough of PeerLink for transport unit tests."""
+
+    def __init__(self, peer: int) -> None:
+        self.peer = peer
+        self.closed = False
+        self.frames: list[bytes] = []
+
+    def send(self, frame: bytes) -> None:
+        self.frames.append(frame)
+
+
+class TestProtocolConformance:
+    def test_sim_objects_satisfy_the_protocols(self):
+        sim = Simulation(SimulationConfig(num_users=6, seed=5))
+        assert isinstance(sim.env, Clock)
+        assert isinstance(sim.network.interfaces[0], Transport)
+        assert isinstance(sim.substrates[0], Substrate)
+        assert sim.substrates[0].name == "sim"
+        assert sim.substrates[0].clock is sim.env
+
+    def test_live_objects_satisfy_the_protocols(self):
+        clock = LiveClock()
+        transport = LiveTransport(0, clock)
+        assert isinstance(clock, Clock)
+        assert isinstance(transport, Transport)
+        assert isinstance(SimSubstrate(clock=clock, transport=transport,
+                                       name="live"), Substrate)
+
+
+class TestLiveClock:
+    def test_stop_when_is_required(self):
+        async def run():
+            await LiveClock().run_async()
+        with pytest.raises(ValueError, match="stop_when"):
+            asyncio.run(run())
+
+    def test_timers_fire_in_order_and_now_advances(self):
+        clock = LiveClock(tick=0.05)
+        fired: list[tuple[str, float]] = []
+        clock.schedule(0.03, lambda: fired.append(("b", clock.now)))
+        clock.schedule(0.01, lambda: fired.append(("a", clock.now)))
+        clock.schedule_now(lambda: fired.append(("i", clock.now)))
+        asyncio.run(clock.run_async(stop_when=lambda: len(fired) == 3))
+        assert [name for name, _ in fired] == ["i", "a", "b"]
+        times = [t for _, t in fired]
+        assert times == sorted(times)
+        assert times[-1] >= 0.03  # wall clock actually elapsed
+
+    def test_deadline_raises(self):
+        clock = LiveClock(tick=0.01)
+        async def run():
+            await clock.run_async(stop_when=lambda: False, deadline=0.05)
+        with pytest.raises(TimeoutError, match="deadline"):
+            asyncio.run(run())
+
+    def test_kick_interrupts_a_long_sleep(self):
+        clock = LiveClock(tick=30.0)  # would sleep half a minute idle
+        done = []
+
+        async def run():
+            task = asyncio.create_task(
+                clock.run_async(stop_when=lambda: bool(done)))
+            await asyncio.sleep(0.05)
+            done.append(True)
+            clock.kick()
+            await asyncio.wait_for(task, timeout=5.0)
+
+        started = time.monotonic()
+        asyncio.run(run())
+        assert time.monotonic() - started < 5.0
+
+    def test_callback_failure_propagates(self):
+        clock = LiveClock(tick=0.01)
+
+        def boom():
+            raise RuntimeError("kaboom")
+
+        clock.schedule_now(boom)
+        async def run():
+            await clock.run_async(stop_when=lambda: False, deadline=1.0)
+        with pytest.raises(RuntimeError, match="kaboom"):
+            asyncio.run(run())
+
+
+class TestLiveTransport:
+    def _transport(self, index=0, **kwargs) -> LiveTransport:
+        transport = LiveTransport(index, LiveClock(), **kwargs)
+        for peer in (1, 2):
+            if peer != index:
+                transport.add_link(_FakeLink(peer))
+        return transport
+
+    def test_broadcast_restamps_msg_id_into_index_namespace(self):
+        transport = self._transport(index=3)
+        transport.add_link(_FakeLink(1))
+        envelope = _envelope(b"o" * 32, msg_id=42)
+        transport.broadcast(envelope)
+        transport.broadcast(envelope)
+        stamped = (3 << MSG_ID_SEQ_BITS)
+        assert stamped in transport._seen
+        assert (stamped | 1) in transport._seen
+        assert 42 not in transport._seen
+
+    def test_broadcast_reaches_every_link_and_counts(self):
+        transport = self._transport()
+        transport.broadcast(_envelope(b"o" * 32, msg_id=1))
+        for link in transport.links.values():
+            assert len(link.frames) == 1
+        assert transport.messages_sent == 2
+        assert transport.bytes_sent == 400  # logical size x 2 peers
+        assert transport.wire_bytes_sent > 0
+
+    def test_deliver_dedups_and_relays_to_other_peers_only(self):
+        transport = self._transport()
+        payload = encode_envelope(_envelope(b"o" * 32, msg_id=99))
+        transport._on_payload(1, payload)
+        transport._on_payload(1, payload)  # duplicate
+        transport._drain()
+        assert len(transport.inbox) == 1
+        assert transport.links[1].frames == []     # never back to sender
+        assert len(transport.links[2].frames) == 1  # relayed once
+
+    def test_ingress_rejection_does_not_poison_seen(self):
+        transport = self._transport()
+        payload = encode_envelope(_envelope(b"o" * 32, msg_id=7))
+        transport.ingress = lambda envelope, from_index: False
+        transport._on_payload(1, payload)
+        transport._drain()
+        assert len(transport.inbox) == 0
+        transport.ingress = None  # later clean copy must be admitted
+        transport._on_payload(2, payload)
+        transport._drain()
+        assert len(transport.inbox) == 1
+
+    def test_rx_queue_bounded_drop_oldest(self):
+        transport = self._transport(rx_queue_limit=3)
+        for msg_id in range(5):
+            transport._on_payload(
+                1, encode_envelope(_envelope(b"o" * 32, msg_id=msg_id)))
+        assert transport.rx_dropped == 2
+        transport._drain()
+        # Oldest two (ids 0, 1) were shed before delivery.
+        assert sorted(e.msg_id for e in transport.inbox) == [2, 3, 4]
+
+    def test_garbage_payload_counted_not_fatal(self):
+        transport = self._transport()
+        transport._on_payload(1, b"certainly not an envelope")
+        assert transport.garbage_frames == 1
+        transport._drain()
+        assert len(transport.inbox) == 0
+
+    def test_drain_budget_reschedules_backlog(self):
+        transport = self._transport(drain_budget=2)
+        for msg_id in range(5):
+            transport._on_payload(
+                1, encode_envelope(_envelope(b"o" * 32, msg_id=msg_id)))
+        transport._drain()
+        assert len(transport.inbox) == 2   # one budgeted pass
+        assert transport._drain_scheduled  # backlog rescheduled itself
+        transport._drain()
+        transport._drain()
+        assert len(transport.inbox) == 5
