@@ -9,6 +9,10 @@ repro.chaos`` is the command-line entry point; docs/CHAOS.md is the
 manual.
 """
 
+# NOTE: repro.chaos.live is deliberately NOT imported here — it pulls in
+# repro.live.cluster, which itself imports repro.chaos.scenario, and
+# eagerly importing it would make ``import repro.live`` circular. Use
+# ``from repro.chaos.live import run_live_scenario`` directly.
 from repro.chaos.faults import FaultInjector, ShaperChain
 from repro.chaos.generate import generate_scenario
 from repro.chaos.monitor import (InvariantMonitor, Violation, audit_chains,
@@ -16,6 +20,7 @@ from repro.chaos.monitor import (InvariantMonitor, Violation, audit_chains,
 from repro.chaos.runner import ChaosVerdict, run_scenario
 from repro.chaos.scenario import (FAULT_KINDS, FaultAction, ScenarioError,
                                   ScenarioScript, flood_recovery_scenario,
+                                  kill_partition_scenario,
                                   partition_heal_scenario)
 
 __all__ = [
@@ -32,6 +37,7 @@ __all__ = [
     "audit_ingress",
     "flood_recovery_scenario",
     "generate_scenario",
+    "kill_partition_scenario",
     "partition_heal_scenario",
     "run_scenario",
 ]

@@ -5,6 +5,11 @@ Examples::
     # The canonical scripted smoke: split-brain, stall, heal, commit.
     python -m repro.chaos --builtin partition-heal --trace out/chaos.jsonl
 
+    # The same engine against real processes: SIGKILL + partition on a
+    # live 5-process cluster, rejoin via gossip catch-up.
+    python -m repro.chaos --builtin kill-partition --substrate live \
+        --runtime-dir out/live-chaos --verdict out/verdict.json
+
     # A scenario file (see docs/CHAOS.md for the format).
     python -m repro.chaos my_scenario.json --verdict out/verdict.json
 
@@ -30,10 +35,11 @@ from repro.chaos.runner import ChaosVerdict, run_scenario
 from repro.chaos.scenario import (
     ScenarioScript,
     flood_recovery_scenario,
+    kill_partition_scenario,
     partition_heal_scenario,
 )
 
-_BUILTINS = ("partition-heal", "flood")
+_BUILTINS = ("partition-heal", "flood", "kill-partition")
 
 
 def _load_builtin(name: str, args: argparse.Namespace) -> ScenarioScript:
@@ -42,6 +48,9 @@ def _load_builtin(name: str, args: argparse.Namespace) -> ScenarioScript:
                                        seed=args.base_seed)
     if name == "flood":
         return flood_recovery_scenario(num_users=args.users or 15,
+                                       seed=args.base_seed)
+    if name == "kill-partition":
+        return kill_partition_scenario(num_users=args.users or 5,
                                        seed=args.base_seed)
     raise SystemExit(f"unknown builtin {name!r} (have: {_BUILTINS})")
 
@@ -78,9 +87,25 @@ def main(argv: list[str] | None = None) -> int:
                         help="target rounds for generated scenarios")
     parser.add_argument("--trace", metavar="PATH",
                         help="write the full JSONL event trace here "
-                             "(per-seed suffix in sweep mode)")
+                             "(per-seed suffix in sweep mode; on the "
+                             "live substrate the merged trace is "
+                             "copied here)")
     parser.add_argument("--verdict", metavar="PATH",
                         help="write the verdict JSON here")
+    parser.add_argument("--substrate", choices=("sim", "live"),
+                        default="sim",
+                        help="execution substrate: deterministic "
+                             "simulation (default) or real node "
+                             "processes with real SIGKILLs and severed "
+                             "sockets")
+    parser.add_argument("--runtime-dir", metavar="DIR",
+                        help="live substrate: directory for per-node "
+                             "artifacts (configs, logs, traces, merged "
+                             "trace); default is a fresh temp dir")
+    parser.add_argument("--transport", choices=("uds", "tcp"),
+                        default="uds",
+                        help="live substrate: gossip/control transport "
+                             "(default uds)")
     args = parser.parse_args(argv)
 
     chosen = [bool(args.scenario), args.builtin is not None,
@@ -115,8 +140,20 @@ def main(argv: list[str] | None = None) -> int:
                 trace_path = str(path.with_name(
                     f"{path.stem}-seed{script.seed}"
                     f"{path.suffix or '.jsonl'}"))
-        verdict = run_scenario(script, trace_path=trace_path)
+        if args.substrate == "live":
+            from repro.chaos.live import run_live_scenario
+            verdict = run_live_scenario(script,
+                                        runtime_dir=args.runtime_dir,
+                                        transport=args.transport)
+            merged = verdict.cluster.merged_trace_path
+            if trace_path is not None:
+                Path(trace_path).write_bytes(Path(merged).read_bytes())
+        else:
+            merged = None
+            verdict = run_scenario(script, trace_path=trace_path)
         _report(verdict)
+        if merged is not None:
+            print(f"  merged trace: {merged}")
         verdicts.append(verdict)
 
     all_ok = all(verdict.ok for verdict in verdicts)

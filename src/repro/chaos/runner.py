@@ -53,6 +53,9 @@ class ChaosVerdict:
     conformance: dict | None = None
     #: The live simulation, for tests and post-mortems; never serialized.
     sim: Simulation | None = field(default=None, repr=False, compare=False)
+    #: The :class:`repro.live.cluster.LiveCluster` behind a live-substrate
+    #: verdict (see :mod:`repro.chaos.live`); never serialized.
+    cluster: object | None = field(default=None, repr=False, compare=False)
 
     def to_dict(self) -> dict:
         return {

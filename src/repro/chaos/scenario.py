@@ -317,3 +317,46 @@ def flood_recovery_scenario(*, num_users: int = 15, seed: int = 47,
         rounds=3,
         actions=tuple(actions),
     )
+
+
+def kill_partition_scenario(*, num_users: int = 5, seed: int = 11,
+                            rounds: int = 12) -> ScenarioScript:
+    """The live-substrate smoke scenario: SIGKILL, rejoin, isolate, heal.
+
+    One node is crashed mid-run and restarted (on the live substrate
+    that is a real SIGKILL and a respawned process), then a different
+    node is partitioned off and healed. Both victims must rejoin via
+    certificate-verified catch-up (section 8.3) and the cluster must
+    still converge on byte-identical chains — the full weak-synchrony
+    recovery story on a deployment sized so that any single victim
+    leaves 80% of the stake online (BA* quorums keep forming).
+
+    Timing: at the live chaos parameter scale
+    (:data:`repro.chaos.live.LIVE_CHAOS_PARAMS`) the lambdas are
+    timeout *ceilings* — a healthy loopback round commits in well under
+    a second, so the windows here are tight: the crash covers roughly
+    rounds 2-8 and the partition starts near where a fast host finishes
+    its rounds. Recovery does not depend on that pacing, though:
+    finished processes linger and keep serving catch-up until the
+    coordinator releases them, so both victims converge even when the
+    survivors raced far ahead (and on slow hosts, where the windows
+    land mid-run, quorums keep forming throughout).
+    """
+    victim = num_users - 2
+    isolated = num_users - 1
+    return ScenarioScript(
+        name="kill-partition",
+        seed=seed,
+        num_users=num_users,
+        rounds=rounds,
+        payments=10,
+        liveness_bound=30.0,
+        actions=(
+            FaultAction(kind="crash", start=1.5, end=4.5,
+                        nodes=(victim,)),
+            FaultAction(kind="partition", start=6.0, end=9.0,
+                        groups=(tuple(node for node in range(num_users)
+                                      if node != isolated),
+                                (isolated,))),
+        ),
+    )

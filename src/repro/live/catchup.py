@@ -1,0 +1,183 @@
+"""Live block catch-up: section 8.3 over real sockets.
+
+The sim's :func:`repro.node.catchup.resync_from_peers` reads peer
+``Node`` objects directly — a luxury a real process does not have. This
+module ports the same certificate-verified replay onto the live
+transport as a request/response pair of gossip kinds:
+
+* ``"chainreq"`` (:class:`~repro.node.catchup.ChainRequest`) — a node
+  that believes it has fallen behind floods its height; requests relay,
+  so a helper beyond the requester's direct neighbors still hears it on
+  a partial mesh.
+* ``"chain"`` (:class:`~repro.node.catchup.ChainAnnouncement`) — any
+  peer strictly ahead answers with its full history + certificates
+  (throttled). The receiver replays it from genesis
+  (:func:`~repro.node.catchup.replay_chain`, every certificate checked)
+  and **stashes** the validated replica; the round loop adopts it at the
+  next boundary or ConsensusHalted via the standard ``node.resync``
+  hook, so the reference machine sees a legal ``catchup_adopted``.
+
+Falling behind is detected three ways: an explicit :meth:`request` at
+rejoin, a periodic lag probe watching the vote buffer for rounds two or
+more ahead of our own (pipelining legitimately runs one round ahead),
+and a stall detector in the same probe — a node whose height has not
+moved for ``stall_after`` seconds starts requesting outright, which
+covers the case where every peer is already done (no fresh votes to
+betray the lag) and the ConsensusHalted patience loop is polling an
+empty stash.
+
+This also removes the per-process block-registry limitation: a node
+that never saw a committed block over gossip (killed, partitioned,
+partial mesh) now fetches the canonical history instead of needing a
+shared registry.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.common.errors import InvalidCertificate, LedgerError
+from repro.ledger.blockchain import Blockchain
+from repro.live.clock import LiveClock
+from repro.live.transport import LiveTransport
+from repro.network.message import Envelope
+from repro.node.catchup import (
+    ChainAnnouncement,
+    ChainRequest,
+    build_announcement,
+    replay_chain,
+)
+from repro.node.recovery import RECOVERY_ROUND_BASE
+
+if TYPE_CHECKING:
+    from repro.node.agent import Node
+
+
+class LiveChainSync:
+    """Request/response catch-up bound to one live node."""
+
+    def __init__(self, node: "Node", clock: LiveClock,
+                 transport: LiveTransport, *,
+                 check_interval: float = 0.5,
+                 serve_cooldown: float = 1.0,
+                 request_cooldown: float = 1.0,
+                 stall_after: float = 10.0) -> None:
+        self.node = node
+        self.clock = clock
+        self.transport = transport
+        self.check_interval = check_interval
+        self.serve_cooldown = serve_cooldown
+        self.request_cooldown = request_cooldown
+        self.stall_after = stall_after
+        self._last_height = node.chain.height
+        self._last_progress = clock.now
+        #: Validated, strictly-longer replica awaiting adoption at the
+        #: next round boundary (or ConsensusHalted retry).
+        self.pending: Blockchain | None = None
+        self.served = 0
+        self.adopted = 0
+        self.rejected = 0
+        self.requests_sent = 0
+        self._last_serve = float("-inf")
+        self._last_request = float("-inf")
+        node.router.register("chain", self._on_announcement)
+        node.router.register("chainreq", self._on_request)
+        node.resync = self.take_pending
+        transport.chain_sync = self
+        self.clock.schedule(self.check_interval, self._lag_probe)
+
+    # -- requesting ------------------------------------------------------
+
+    def request(self) -> None:
+        """Flood a catch-up request (throttled)."""
+        now = self.clock.now
+        if now - self._last_request < self.request_cooldown:
+            return
+        self._last_request = now
+        request = ChainRequest(height=self.node.chain.height)
+        self.transport.broadcast(Envelope(
+            origin=self.node.keypair.public, kind="chainreq",
+            payload=request, size=request.size))
+        self.requests_sent += 1
+
+    def _lag_probe(self) -> None:
+        """Buffered votes from rounds well ahead of ours mean we lag.
+
+        A flat height for ``stall_after`` seconds also triggers a
+        request: a node severed long enough sees no votes at all once
+        its peers have finished their rounds, so buffered-vote evidence
+        alone would never fire. Peers at the same height simply ignore
+        the request, so a fully-caught-up cluster only pays a trickle
+        of control traffic.
+        """
+        if not self.transport.disconnected:
+            height = self.node.chain.height
+            if height != self._last_height:
+                self._last_height = height
+                self._last_progress = self.clock.now
+            ahead = max(
+                (round_number
+                 for round_number in self.node.buffer.rounds_buffered()
+                 if round_number < RECOVERY_ROUND_BASE),
+                default=0)
+            stalled = (self.clock.now - self._last_progress
+                       >= self.stall_after)
+            if ahead >= self.node.chain.next_round + 2 or stalled:
+                self.request()
+            self.clock.schedule(self.check_interval, self._lag_probe)
+
+    # -- serving ---------------------------------------------------------
+
+    def _on_request(self, request: ChainRequest) -> bool:
+        if self.node.chain.height > request.height:
+            now = self.clock.now
+            if now - self._last_serve >= self.serve_cooldown:
+                self._last_serve = now
+                self.announce()
+        return True  # relay: helpers beyond our neighbors may be longer
+
+    def announce(self) -> None:
+        """Broadcast this node's chain for lagging peers to replay."""
+        announcement = build_announcement(self.node.chain)
+        self.transport.broadcast(Envelope(
+            origin=self.node.keypair.public, kind="chain",
+            payload=announcement, size=announcement.size))
+        self.served += 1
+
+    # -- receiving -------------------------------------------------------
+
+    def _on_announcement(self, announcement: ChainAnnouncement) -> bool:
+        node = self.node
+        if announcement.length <= node.chain.height:
+            # Nothing to learn; relay only a history whose tip matches
+            # our own block at that height (validate-before-relay made
+            # cheap by hash chaining) — same rule as the sim ChainSync.
+            return bool(
+                announcement.blocks
+                and (announcement.blocks[-1].block_hash
+                     == node.chain.block_at(announcement.length).block_hash)
+            )
+        if (self.pending is not None
+                and announcement.length <= self.pending.height):
+            return True  # already holding something at least as long
+        try:
+            replayed = replay_chain(
+                announcement.blocks, announcement.certificates,
+                initial_balances=node.chain.initial_balances,
+                genesis_seed=node.chain.genesis_seed,
+                params=node.params, backend=node.backend,
+            )
+        except (InvalidCertificate, LedgerError):
+            self.rejected += 1
+            return False  # never relay a history that failed validation
+        self.pending = replayed
+        return True
+
+    def take_pending(self) -> Blockchain | None:
+        """``node.resync`` hook: hand over the stashed replica, if longer."""
+        replica = self.pending
+        self.pending = None
+        if replica is not None and replica.height > self.node.chain.height:
+            self.adopted += 1
+            return replica
+        return None

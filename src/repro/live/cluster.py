@@ -9,12 +9,36 @@ for the live substrate: build it from a :class:`SimulationConfig` whose
 The coordinator owns a control socket (Unix domain or TCP, matching the
 gossip transport), spawns one ``python -m repro.live.node_main`` process
 per node, and walks the conversation in :mod:`repro.live.control`:
-collect ``hello`` (listen addresses), broadcast ``peers``, await
-``ready`` from everyone (all gossip links up — no node starts while a
-peer is still dialing), broadcast ``start``, then await ``result``
-messages carrying each node's chain as encoded block bytes plus its
-trace path and transport stats. Per-node JSONL traces are merged into
-one time-sorted file suitable for ``python -m repro.conformance``.
+collect ``hello`` (listen addresses), broadcast ``peers`` (address map
+plus the gossip neighbor lists — a partial mesh when
+``network.peers_per_node < n - 1``), await ``ready`` from everyone,
+broadcast ``start``, then await ``result`` messages carrying each
+node's chain as encoded block bytes plus its trace path and transport
+stats. Per-node JSONL traces are merged into one time-sorted file
+suitable for ``python -m repro.conformance``.
+
+Chaos extensions (all inert when ``faults`` is empty):
+
+* Link faults (``partition``/``loss``/``delay``/``dos``) ride inside
+  the ``start`` message; every node arms its own
+  :class:`~repro.live.faults.LiveFaultPlane` against the shared
+  schedule, so both ends of a cut link act at the same offsets.
+* ``crash`` faults are realized here: the coordinator SIGKILLs the
+  victim's process at the window start and — if the window has an end —
+  respawns it as a fresh ``node_main`` with ``rejoin=True`` and a
+  ``clock_offset`` resuming scenario time, then re-admits it through
+  the same hello/peers/ready/start conversation. The victim rebuilds
+  its chain over gossip (:mod:`repro.live.catchup`).
+* Trace merging stitches every incarnation together and synthesizes
+  the events a SIGKILLed process cannot write for itself —
+  ``step_exit`` closures for steps open at the kill, ``node_crashed``
+  at the measured kill time, and one ``fault_applied``/``fault_cleared``
+  pair per scripted action (the shape the sim injector emits) — so the
+  merged trace replays cleanly through the conformance machine.
+
+Any node process that dies when it is not scripted to — including
+before its first ``hello`` — aborts the whole run immediately with the
+tail of every node log attached (fail-fast, not a 30s timeout).
 
 Every per-node artifact (configs, logs, traces, sockets, merged trace)
 lives under one runtime directory so a failed run leaves a complete
@@ -24,16 +48,20 @@ post-mortem behind.
 from __future__ import annotations
 
 import asyncio
+import contextlib
 import dataclasses
 import json
 import os
 import sys
 import tempfile
 from pathlib import Path
+from typing import Sequence
 
+from repro.chaos.scenario import FaultAction
 from repro.common.params import TEST_PARAMS, ProtocolParams
 from repro.experiments.config import ConfigError, SimulationConfig, SubstrateConfig
 from repro.live.control import ControlError, MessageStream, send_message
+from repro.live.faults import unsupported_live_kinds
 from repro.network.wire import decode_block
 from repro.obs.sink import read_trace
 
@@ -52,6 +80,10 @@ LIVE_SMOKE_PARAMS = dataclasses.replace(
 
 _LOG_TAIL_LINES = 25
 
+#: Wall seconds a watcher waits after an un-scripted process exit for
+#: the in-flight ``result`` to land before declaring the run broken.
+_EXIT_GRACE = 2.0
+
 
 def default_live_config(num_nodes: int = 5, *, seed: int = 7,
                         transport: str = "uds",
@@ -67,10 +99,35 @@ def default_live_config(num_nodes: int = 5, *, seed: int = 7,
     )
 
 
+def neighbor_map(num_nodes: int, peers_per_node: int) -> dict[str, list[int]]:
+    """Deterministic symmetric gossip topology from the network config.
+
+    ``peers_per_node >= n - 1`` is the full mesh (the historical live
+    default). Anything smaller becomes a ring with chords: node *i*
+    links to ``i +- k (mod n)`` for ``k = 1 .. ceil(p / 2)`` — always
+    connected, symmetric by construction, degree ``2 * ceil(p / 2)``.
+    """
+    n = num_nodes
+    if peers_per_node >= n - 1 or n <= 2:
+        return {str(i): [j for j in range(n) if j != i] for i in range(n)}
+    reach = max(1, (min(peers_per_node, n - 2) + 1) // 2)
+    out: dict[str, list[int]] = {}
+    for i in range(n):
+        peers = set()
+        for k in range(1, reach + 1):
+            peers.add((i + k) % n)
+            peers.add((i - k) % n)
+        peers.discard(i)
+        out[str(i)] = sorted(peers)
+    return out
+
+
 class LiveCluster:
     """N node processes + this coordinator, driven like a Simulation."""
 
-    def __init__(self, config: SimulationConfig | None = None) -> None:
+    def __init__(self, config: SimulationConfig | None = None, *,
+                 faults: Sequence[FaultAction] = (),
+                 node_overrides: dict[int, dict] | None = None) -> None:
         config = config if config is not None else default_live_config()
         if config.substrate.kind != "live":
             raise ConfigError(
@@ -89,12 +146,31 @@ class LiveCluster:
         self.config = config
         self.params: ProtocolParams = config.params or LIVE_SMOKE_PARAMS
         self.num_nodes = config.num_users
+        self.faults: tuple[FaultAction, ...] = tuple(faults)
+        for action in self.faults:
+            action.validate(self.num_nodes)
+        unsupported = unsupported_live_kinds(self.faults)
+        if unsupported:
+            raise ConfigError(
+                "fault kind(s) with no live realization: "
+                + ", ".join(sorted(unsupported))
+                + " (sim-only; run them on the sim substrate)")
+        #: Per-node config overrides merged into the generated node
+        #: config files — test hooks (``exit_at_start``) and tuning.
+        self.node_overrides = dict(node_overrides or {})
         self.runtime_dir: Path | None = None
         self.merged_trace_path: Path | None = None
         self.results: dict[int, dict] = {}
         self.chains: dict[int, list] = {}
         self.rounds_run = 0
+        #: Measured kills: ``{"node": i, "t": scenario_seconds}``.
+        self.kill_log: list[dict] = []
         self._payments = 0
+        #: Every trace file each node index wrote, in incarnation order.
+        self._trace_paths: dict[int, list[str]] = {}
+        self._expected_dead: set[int] = set()
+        self._permanently_dead: set[int] = set()
+        self._finished: set[int] = set()
 
     # -- Simulation-shaped surface --------------------------------------
 
@@ -114,11 +190,15 @@ class LiveCluster:
         asyncio.run(self._run(rounds, time_limit))
 
     def all_chains_equal(self) -> bool:
-        """Byte-identical committed chains on every process."""
+        """Byte-identical committed chains on every reporting process."""
         blocks = [self.results[i]["blocks"] for i in sorted(self.results)]
         return bool(blocks) and all(b == blocks[0] for b in blocks[1:])
 
     def summary(self) -> dict:
+        def total(stat: str) -> int:
+            return sum(r["stats"].get(stat, 0)
+                       for r in self.results.values())
+
         heights = {i: r["height"] for i, r in sorted(self.results.items())}
         return {
             "substrate": "live",
@@ -126,6 +206,9 @@ class LiveCluster:
             "nodes": self.num_nodes,
             "rounds": self.rounds_run,
             "payments": self._payments,
+            "faults": [action.to_dict() for action in self.faults],
+            "kills": list(self.kill_log),
+            "missing_nodes": sorted(self._permanently_dead),
             "heights": heights,
             "chains_equal": self.all_chains_equal(),
             "tips": {i: r["tip"].hex()[:16]
@@ -136,14 +219,17 @@ class LiveCluster:
                                           for r in self.results.values()),
             "trace_events_dropped": sum(r["dropped_events"]
                                         for r in self.results.values()),
-            "wire_bytes_sent": sum(r["stats"]["wire_bytes_sent"]
-                                   for r in self.results.values()),
-            "messages_sent": sum(r["stats"]["messages_sent"]
-                                 for r in self.results.values()),
-            "rx_dropped": sum(r["stats"]["rx_dropped"]
-                              for r in self.results.values()),
-            "garbage_frames": sum(r["stats"]["garbage_frames"]
-                                  for r in self.results.values()),
+            "wire_bytes_sent": total("wire_bytes_sent"),
+            "messages_sent": total("messages_sent"),
+            "rx_dropped": total("rx_dropped"),
+            "garbage_frames": total("garbage_frames"),
+            "reconnect_attempts": total("reconnect_attempts"),
+            "reconnects": total("reconnects"),
+            "fault_dropped_frames": total("fault_dropped_frames"),
+            "catchup_served": total("catchup_served"),
+            "catchup_adopted": total("catchup_adopted"),
+            "per_node": {i: dict(r["stats"])
+                         for i, r in sorted(self.results.items())},
             "merged_trace": (str(self.merged_trace_path)
                              if self.merged_trace_path else None),
             "runtime_dir": str(self.runtime_dir),
@@ -151,10 +237,12 @@ class LiveCluster:
 
     # -- orchestration --------------------------------------------------
 
-    def _node_config(self, index: int, control) -> dict:
+    def _node_config(self, index: int, control, *,
+                     incarnation: int = 0) -> dict:
         sub = self.config.substrate
         runtime_dir = str(self.runtime_dir)
-        return {
+        suffix = f"-r{incarnation}" if incarnation else ""
+        cfg = {
             "index": index,
             "num_nodes": self.num_nodes,
             "seed": self.config.seed,
@@ -165,13 +253,18 @@ class LiveCluster:
             "base_port": sub.base_port,
             "control": control,
             "initial_balance": self.config.initial_balance,
-            "trace": str(Path(runtime_dir) / f"trace-{index}.jsonl"),
+            "balances": self.config.balances,
+            "trace": str(Path(runtime_dir)
+                         / f"trace-{index}{suffix}.jsonl"),
             "connect_timeout": sub.connect_timeout,
             "drain_budget": sub.drain_budget,
             "rx_queue_limit": sub.rx_queue_limit,
             "use_admission": self.config.runtime.use_admission,
             "relay_damping": self.config.runtime.relay_damping,
+            "incarnation": incarnation,
         }
+        cfg.update(self.node_overrides.get(index, {}))
+        return cfg
 
     def _log_tails(self) -> str:
         """Last lines of every node log — the post-mortem on failure."""
@@ -186,14 +279,150 @@ class LiveCluster:
                 pieces.append(f"--- {path.name} ---\n{tail}")
         return "\n".join(pieces) if pieces else "(node logs empty)"
 
+    async def _spawn(self, index: int, control, *,
+                     incarnation: int = 0,
+                     extra: dict | None = None) -> asyncio.subprocess.Process:
+        """Write a node config, start its process, arm its watcher."""
+        cfg = self._node_config(index, control, incarnation=incarnation)
+        if extra:
+            cfg.update(extra)
+        suffix = f"-r{incarnation}" if incarnation else ""
+        cfg_path = self.runtime_dir / f"node-{index}{suffix}.json"
+        cfg_path.write_text(json.dumps(cfg, indent=1), encoding="utf-8")
+        log = open(self.runtime_dir / f"node-{index}{suffix}.log", "wb")
+        self._log_files.append(log)
+        proc = await asyncio.create_subprocess_exec(
+            sys.executable, "-m", "repro.live.node_main", str(cfg_path),
+            stdout=log, stderr=log, env=self._env)
+        self._procs.append(proc)
+        self._procs_by_index[index] = proc
+        self._trace_paths.setdefault(index, []).append(cfg["trace"])
+        self._watchers.append(asyncio.create_task(
+            self._watch(index, proc), name=f"watch-{index}"))
+        return proc
+
+    async def _watch(self, index: int, proc) -> None:
+        """Fail-fast: an un-scripted process death aborts the run."""
+        await proc.wait()
+        if self._abort.done() or index in self._expected_dead:
+            return
+        if self._started and index not in self._finished:
+            # A result frame may still be in flight; give it a moment.
+            await asyncio.sleep(_EXIT_GRACE)
+        if (self._abort.done() or index in self._expected_dead
+                or index in self._finished):
+            return
+        self._abort.set_exception(RuntimeError(
+            f"node {index} exited (rc={proc.returncode}) before "
+            f"delivering a result"))
+
+    async def _guarded(self, awaitable):
+        """Await ``awaitable``, losing instantly to a fail-fast abort."""
+        task = asyncio.ensure_future(awaitable)
+        await asyncio.wait({task, self._abort},
+                           return_when=asyncio.FIRST_COMPLETED)
+        if self._abort.done() and not task.done():
+            task.cancel()
+            with contextlib.suppress(asyncio.CancelledError, Exception):
+                await task
+            raise self._abort.exception()
+        return await task
+
+    async def _collect(self, index: int, stream: MessageStream,
+                       deadline: float) -> dict | None:
+        """One node's ``result``; ``None`` if it was scripted to die."""
+        try:
+            result = await stream.expect("result", timeout=deadline + 30.0)
+        except ControlError:
+            if index in self._expected_dead:
+                return None
+            raise
+        self._finished.add(index)
+        return result
+
+    async def _admit(self, index: int, *, deadline: float,
+                     rounds: int) -> None:
+        """hello -> peers -> ready -> start for one (re)spawned node."""
+        sub = self.config.substrate
+        hello_index, address, stream, writer = await self._guarded(
+            asyncio.wait_for(self._hello_queue.get(),
+                             timeout=sub.connect_timeout))
+        if hello_index != index:
+            raise ControlError(
+                f"expected hello from respawned node {index}, "
+                f"got node {hello_index}")
+        self._writers.append(writer)
+        self._node_writers[index] = writer
+        self._addresses[str(index)] = address
+        await send_message(writer, {"type": "peers",
+                                    "addresses": self._addresses,
+                                    "neighbors": self._neighbors})
+        await self._guarded(stream.expect("ready",
+                                          timeout=sub.connect_timeout))
+        self._expected_dead.discard(index)
+        await send_message(writer, dict(self._start_message,
+                                        deadline=deadline, rounds=rounds))
+        self._collectors[index] = asyncio.create_task(
+            self._collect(index, stream, deadline),
+            name=f"collect-{index}-respawn")
+
+    async def _crash_timeline(self, *, control, deadline: float,
+                              rounds: int) -> None:
+        """SIGKILL scripted victims; respawn + re-admit on window end."""
+        actions = sorted(
+            (action for action in self.faults if action.kind == "crash"),
+            key=lambda action: action.start)
+        loop = asyncio.get_running_loop()
+        for action in actions:
+            await asyncio.sleep(
+                max(0.0, self._anchor + action.start - loop.time()))
+            for index in action.nodes:
+                self._expected_dead.add(index)
+                if action.end is None:
+                    self._permanently_dead.add(index)
+                proc = self._procs_by_index[index]
+                if proc.returncode is None:
+                    proc.kill()
+                self.kill_log.append(
+                    {"node": index,
+                     "t": loop.time() - self._anchor})
+            if action.end is None:
+                continue
+            await asyncio.sleep(
+                max(0.0, self._anchor + action.end - loop.time()))
+            for index in action.nodes:
+                extra: dict = {
+                    "rejoin": True,
+                    "clock_offset": loop.time() - self._anchor,
+                }
+                if self.config.substrate.transport == "tcp":
+                    # Keep the advertised address valid: rebind the
+                    # exact port the first incarnation listened on.
+                    extra["rebind_port"] = self._addresses[str(index)][1]
+                incarnation = len(self._trace_paths[index])
+                await self._spawn(index, control,
+                                  incarnation=incarnation, extra=extra)
+                await self._admit(index, deadline=deadline, rounds=rounds)
+
     async def _run(self, rounds: int, time_limit: float | None) -> None:
         sub = self.config.substrate
         n = self.num_nodes
         self.runtime_dir = Path(
             sub.runtime_dir or tempfile.mkdtemp(prefix="repro-live-"))
         self.runtime_dir.mkdir(parents=True, exist_ok=True)
-
-        hello_queue: asyncio.Queue = asyncio.Queue()
+        loop = asyncio.get_running_loop()
+        self._abort: asyncio.Future = loop.create_future()
+        self._started = False
+        self._hello_queue: asyncio.Queue = asyncio.Queue()
+        self._procs: list[asyncio.subprocess.Process] = []
+        self._procs_by_index: dict[int, asyncio.subprocess.Process] = {}
+        self._log_files: list = []
+        self._watchers: list[asyncio.Task] = []
+        self._writers: list[asyncio.StreamWriter] = []
+        self._node_writers: dict[int, asyncio.StreamWriter] = {}
+        self._collectors: dict[int, asyncio.Task] = {}
+        self._neighbors = neighbor_map(n,
+                                       self.config.network.peers_per_node)
 
         async def on_connect(reader: asyncio.StreamReader,
                              writer: asyncio.StreamWriter) -> None:
@@ -204,11 +433,12 @@ class LiveCluster:
             except ControlError:
                 writer.close()
                 return
-            await hello_queue.put(
+            await self._hello_queue.put(
                 (hello["index"], hello["address"], stream, writer))
 
         if sub.transport == "uds":
             control = str(self.runtime_dir / "ctrl.sock")
+            Path(control).unlink(missing_ok=True)
             server = await asyncio.start_unix_server(on_connect,
                                                      path=control)
         else:
@@ -216,9 +446,7 @@ class LiveCluster:
                                                 port=0)
             control = [sub.host, server.sockets[0].getsockname()[1]]
 
-        procs: list[asyncio.subprocess.Process] = []
-        log_files = []
-        nodes: dict[int, tuple[MessageStream, asyncio.StreamWriter]] = {}
+        timeline: asyncio.Task | None = None
         try:
             env = dict(os.environ)
             import repro
@@ -226,59 +454,96 @@ class LiveCluster:
             env["PYTHONPATH"] = (
                 src_root + os.pathsep + env["PYTHONPATH"]
                 if env.get("PYTHONPATH") else src_root)
+            self._env = env
             for i in range(n):
-                cfg_path = self.runtime_dir / f"node-{i}.json"
-                cfg_path.write_text(
-                    json.dumps(self._node_config(i, control), indent=1),
-                    encoding="utf-8")
-                log = open(self.runtime_dir / f"node-{i}.log", "wb")
-                log_files.append(log)
-                procs.append(await asyncio.create_subprocess_exec(
-                    sys.executable, "-m", "repro.live.node_main",
-                    str(cfg_path), stdout=log, stderr=log, env=env))
+                await self._spawn(i, control)
 
-            addresses: dict[str, object] = {}
+            self._addresses = {}
+            streams: dict[int, MessageStream] = {}
             for _ in range(n):
-                index, address, stream, writer = await asyncio.wait_for(
-                    hello_queue.get(), timeout=sub.connect_timeout)
-                nodes[index] = (stream, writer)
-                addresses[str(index)] = address
+                index, address, stream, writer = await self._guarded(
+                    asyncio.wait_for(self._hello_queue.get(),
+                                     timeout=sub.connect_timeout))
+                streams[index] = stream
+                self._writers.append(writer)
+                self._node_writers[index] = writer
+                self._addresses[str(index)] = address
             for index in range(n):
-                await send_message(nodes[index][1],
+                await send_message(self._node_writers[index],
                                    {"type": "peers",
-                                    "addresses": addresses})
+                                    "addresses": self._addresses,
+                                    "neighbors": self._neighbors})
             for index in range(n):
-                await nodes[index][0].expect("ready",
-                                             timeout=sub.connect_timeout)
+                await self._guarded(streams[index].expect(
+                    "ready", timeout=sub.connect_timeout))
 
             per_round = (self.params.lambda_block
                          + self.params.lambda_step * self.params.max_steps)
             deadline = time_limit or per_round * (rounds + 1)
+            self._start_message = {
+                "type": "start",
+                "payments": self._payments,
+                "rounds": rounds,
+                "deadline": deadline,
+                "faults": [action.to_dict() for action in self.faults],
+            }
+            # Scenario t=0 is pinned *before* the start broadcast: every
+            # node's clock origin is therefore strictly later, so node
+            # timestamps always trail coordinator-measured kill times —
+            # the invariant the merged-trace event ordering rests on.
+            self._anchor = loop.time()
+            self._started = True
             for index in range(n):
-                await send_message(nodes[index][1],
-                                   {"type": "start",
-                                    "payments": self._payments,
-                                    "rounds": rounds,
-                                    "deadline": deadline})
+                await send_message(self._node_writers[index],
+                                   self._start_message)
+            for index in range(n):
+                self._collectors[index] = asyncio.create_task(
+                    self._collect(index, streams[index], deadline),
+                    name=f"collect-{index}")
+            timeline = asyncio.create_task(
+                self._crash_timeline(control=control, deadline=deadline,
+                                     rounds=rounds),
+                name="crash-timeline")
+            await self._guarded(timeline)
             results: dict[int, dict] = {}
             for index in range(n):
-                results[index] = await nodes[index][0].expect(
-                    "result", timeout=deadline + 30.0)
+                result = await self._guarded(self._collectors[index])
+                if result is not None:
+                    results[index] = result
+            # Every result is in: release the lingering processes (they
+            # keep serving catch-up to late rejoiners until told to stop).
+            for index, writer in self._node_writers.items():
+                if index in self._permanently_dead:
+                    continue
+                with contextlib.suppress(Exception):
+                    await send_message(writer, {"type": "stop"})
+            live_procs = [p for p in self._procs if p.returncode is None]
             await asyncio.wait_for(
-                asyncio.gather(*(p.wait() for p in procs)), timeout=30.0)
+                asyncio.gather(*(p.wait() for p in live_procs)),
+                timeout=30.0)
         except Exception as exc:
             raise RuntimeError(
                 f"live cluster failed during orchestration: {exc!r}\n"
                 f"{self._log_tails()}") from exc
         finally:
-            for proc in procs:
+            if timeline is not None and not timeline.done():
+                timeline.cancel()
+            for task in self._collectors.values():
+                if not task.done():
+                    task.cancel()
+            for task in self._watchers:
+                if not task.done():
+                    task.cancel()
+            if self._abort.done():
+                self._abort.exception()  # mark retrieved
+            for proc in self._procs:
                 if proc.returncode is None:
                     proc.kill()
-            for _, writer in nodes.values():
+            for writer in self._writers:
                 writer.close()
             server.close()
             await server.wait_closed()
-            for log in log_files:
+            for log in self._log_files:
                 log.close()
 
         self.results = results
@@ -287,27 +552,86 @@ class LiveCluster:
             index: [decode_block(raw) for raw in result["blocks"]]
             for index, result in results.items()
         }
-        self.merged_trace_path = self._merge_traces(
-            [results[index]["trace"] for index in sorted(results)])
+        self.merged_trace_path = self._merge_traces()
 
     # -- trace merging --------------------------------------------------
 
-    def _merge_traces(self, paths: list[str]) -> Path:
-        """One time-sorted JSONL trace across all nodes.
+    def _synthesize_crash_events(self, index: int, events: list[dict],
+                                 kill_t: float) -> list[dict]:
+        """What a SIGKILLed incarnation could not write for itself.
+
+        Closes every step it left open (``interrupted`` exits, the same
+        shape :func:`repro.baplus.voting.interrupt_open_steps`
+        emits) and then records the crash — exactly the order the
+        conformance machine requires so open intervals are not flagged
+        as unclosed.
+        """
+        open_steps: dict[tuple[int, int], float] = {}
+        last_round = 1
+        for record in events:
+            kind = record.get("kind")
+            if kind == "step_enter":
+                open_steps[(record["round"], record["step"])] = \
+                    float(record.get("t", kill_t))
+            elif kind == "step_exit":
+                open_steps.pop((record["round"], record["step"]), None)
+            elif kind == "round_start":
+                last_round = record["round"]
+        synthesized = [
+            {"t": kill_t, "kind": "step_exit", "node": index,
+             "round": round_number, "step": step,
+             "seconds": max(0.0, kill_t - entered_t),
+             "timed_out": True, "interrupted": True}
+            for (round_number, step), entered_t
+            in sorted(open_steps.items())
+        ]
+        synthesized.append({"t": kill_t, "kind": "node_crashed",
+                            "node": index, "round": last_round})
+        return synthesized
+
+    def _merge_traces(self) -> Path:
+        """One time-sorted JSONL trace across all nodes and incarnations.
 
         Events keep their per-node ``node`` field (the conformance
-        checker demultiplexes on it); the merged snapshot carries only
-        the summed loss counter, which is what completeness checks read.
+        checker demultiplexes on it). Victim incarnations are read with
+        truncation tolerance (a SIGKILL can land mid-write), closed out
+        with synthesized crash events at the measured kill times, and
+        followed by their respawn's events; scripted faults contribute
+        one ``fault_applied``/``fault_cleared`` pair each, mirroring
+        the sim injector. The merged snapshot carries only the summed
+        loss counter, which is what completeness checks read.
         """
         events: list[dict] = []
         dropped = 0
-        for path in paths:
-            node_events, snapshot = read_trace(path)
-            events.extend(node_events)
-            if snapshot:
-                dropped += int(snapshot.get("dropped_events", 0) or 0)
-                gauges = snapshot.get("gauges", {})
-                dropped += int(gauges.get("obs.sink_dropped", 0) or 0)
+        kills_by_node: dict[int, list[float]] = {}
+        for record in self.kill_log:
+            kills_by_node.setdefault(record["node"], []).append(record["t"])
+        for index in sorted(self._trace_paths):
+            kills = kills_by_node.get(index, [])
+            for incarnation, path in enumerate(self._trace_paths[index]):
+                try:
+                    node_events, snapshot = read_trace(
+                        path, tolerate_truncation=True)
+                except (OSError, ValueError):
+                    node_events, snapshot = [], None
+                events.extend(node_events)
+                if snapshot:
+                    dropped += int(snapshot.get("dropped_events", 0) or 0)
+                    gauges = snapshot.get("gauges", {})
+                    dropped += int(gauges.get("obs.sink_dropped", 0) or 0)
+                if incarnation < len(kills):
+                    events.extend(self._synthesize_crash_events(
+                        index, node_events, kills[incarnation]))
+        for action in self.faults:
+            window = [action.start, action.end]
+            events.append({"t": action.start, "kind": "fault_applied",
+                           "fault": action.kind,
+                           "nodes": list(action.nodes), "window": window})
+            if action.end is not None:
+                events.append({"t": action.end, "kind": "fault_cleared",
+                               "fault": action.kind,
+                               "nodes": list(action.nodes),
+                               "window": window})
         events.sort(key=lambda record: float(record.get("t", 0.0)))
         out = Path(self.runtime_dir) / "merged.jsonl"
         with out.open("w", encoding="utf-8") as handle:

@@ -13,7 +13,13 @@ message      direction  meaning
 ``ready``    node → co  all gossip links established
 ``start``    co → node  begin: payment count + target rounds
 ``result``   node → co  final chain (block bytes), trace, stats
+``stop``     co → node  all results in; stop serving and exit
 ===========  =========  ==========================================
+
+After ``result`` a node *lingers* — clock running, gossip links open,
+catch-up requests still answered — until ``stop`` (or control EOF)
+releases it. Fast finishers therefore stay useful to a chaos victim
+that rejoins after everyone else has already reached target height.
 """
 
 from __future__ import annotations

@@ -11,6 +11,19 @@ Determinism across processes comes from construction, not luck: every
 process derives the same keypairs and genesis from the shared seed, and
 the payment schedule is replayed from the same seeded RNG stream in
 every process with each node submitting only its own share.
+
+Robustness plumbing (all dormant in a clean run):
+
+* **Reconnect** — a lost gossip link is redialed by the pair's dialer
+  (the higher index) with capped exponential backoff and a fresh
+  ``peer-hello`` handshake.
+* **Faults** — the ``start`` message may carry a scripted fault
+  schedule; :class:`~repro.live.faults.LiveFaultPlane` arms it on this
+  node's clock.
+* **Rejoin** — a respawned process (``rejoin`` config flag) resumes its
+  trace clock at ``clock_offset``, rebinds its original address, emits
+  ``node_restarted``, and catches up over gossip
+  (:class:`~repro.live.catchup.LiveChainSync`) before running rounds.
 """
 
 from __future__ import annotations
@@ -22,6 +35,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.chaos.scenario import FaultAction
 from repro.common.encoding import decode, encode
 from repro.common.params import ProtocolParams
 from repro.conformance.monitor import ConformanceMonitor
@@ -29,8 +43,10 @@ from repro.crypto.backend import CachedBackend, FastBackend
 from repro.crypto.hashing import H
 from repro.ledger.blockchain import Blockchain
 from repro.ledger.transaction import make_transaction
+from repro.live.catchup import LiveChainSync
 from repro.live.clock import LiveClock
 from repro.live.control import ControlError, MessageStream, send_message
+from repro.live.faults import LiveFaultPlane
 from repro.live.transport import LiveTransport, PeerLink
 from repro.network.wire import FrameDecoder, encode_block, encode_frame
 from repro.node.agent import Node
@@ -40,6 +56,10 @@ from repro.obs.sink import JsonlTraceSink
 from repro.runtime.admission import AdmissionConfig, attach_admission
 from repro.runtime.cache import VerificationCache
 from repro.runtime.damping import attach_damping
+
+#: Reconnect backoff: first retry delay and cap (seconds).
+RECONNECT_BACKOFF_BASE = 0.25
+RECONNECT_BACKOFF_CAP = 3.0
 
 
 async def _read_hello(reader: asyncio.StreamReader
@@ -73,24 +93,40 @@ class NodeProcess:
         self.num_nodes: int = cfg["num_nodes"]
         self.seed: int = cfg["seed"]
         self.params = ProtocolParams(**cfg["params"])
+        self.rejoin: bool = bool(cfg.get("rejoin"))
         self.clock = LiveClock(tick=cfg.get("tick", 0.25))
+        # A respawned process resumes protocol time where the kill left
+        # it, so its trace timestamps merge monotonically with everyone
+        # else's and scripted fault windows stay aligned.
+        self.clock.now = float(cfg.get("clock_offset", 0.0))
         self.transport = LiveTransport(
             self.index, self.clock,
             drain_budget=cfg.get("drain_budget", 128),
-            rx_queue_limit=cfg.get("rx_queue_limit", 4096))
+            rx_queue_limit=cfg.get("rx_queue_limit", 4096),
+            incarnation=int(cfg.get("incarnation", 0)))
+        self.transport.on_link_down = self._ensure_redial
         self._links_complete = asyncio.Event()
         self._server: asyncio.base_events.Server | None = None
+        self._peer_addresses: dict[int, object] = {}
+        self._neighbors: set[int] = set()
+        self._redial_tasks: dict[int, asyncio.Task] = {}
 
     # -- gossip link establishment --------------------------------------
 
     def _check_links(self) -> None:
-        if len(self.transport.links) >= self.num_nodes - 1:
+        expected = len(self._neighbors) if self._neighbors \
+            else self.num_nodes - 1
+        if len(self.transport.links) >= expected:
             self._links_complete.set()
 
     async def _on_peer_connect(self, reader: asyncio.StreamReader,
                                writer: asyncio.StreamWriter) -> None:
         hello, extra, residue = await _read_hello(reader)
         peer = hello["index"]
+        if peer in self.transport.severed:
+            # Fault plane says this link does not exist right now.
+            writer.close()
+            return
         link = PeerLink(self.transport, peer, reader, writer)
         self.transport.add_link(link)
         link.start()
@@ -105,10 +141,13 @@ class NodeProcess:
         if cfg["transport"] == "uds":
             path = str(Path(cfg["runtime_dir"])
                        / f"node-{self.index}.sock")
+            # A respawn after SIGKILL finds its own stale socket file.
+            Path(path).unlink(missing_ok=True)
             self._server = await asyncio.start_unix_server(
                 self._on_peer_connect, path=path)
             return path
-        port = (cfg["base_port"] + self.index) if cfg["base_port"] else 0
+        port = cfg.get("rebind_port") or (
+            (cfg["base_port"] + self.index) if cfg["base_port"] else 0)
         self._server = await asyncio.start_server(
             self._on_peer_connect, host=cfg["host"], port=port)
         bound_port = self._server.sockets[0].getsockname()[1]
@@ -128,6 +167,48 @@ class NodeProcess:
         link.start()
         self._check_links()
 
+    def _ensure_redial(self, peer: int) -> None:
+        """Re-establish a lost/healed link, if we are the pair's dialer.
+
+        Connections are owned by the higher index of the pair (node *i*
+        dials every *j < i* at startup); keeping that rule on reconnect
+        means a healed partition or a restarted peer gets exactly one
+        new connection, not a crossing pair.
+        """
+        if peer >= self.index or peer not in self._peer_addresses:
+            return
+        if self.transport.disconnected:
+            return
+        task = self._redial_tasks.get(peer)
+        if task is not None and not task.done():
+            return
+        self._redial_tasks[peer] = asyncio.create_task(
+            self._redial(peer), name=f"redial-{peer}")
+
+    async def _redial(self, peer: int) -> None:
+        backoff = RECONNECT_BACKOFF_BASE
+        try:
+            while not self.transport.disconnected:
+                if peer in self.transport.severed:
+                    await asyncio.sleep(RECONNECT_BACKOFF_BASE)
+                    continue
+                existing = self.transport.links.get(peer)
+                if existing is not None and not existing.closed:
+                    return
+                self.transport.reconnect_attempts += 1
+                try:
+                    await asyncio.wait_for(
+                        self._dial_peer(peer, self._peer_addresses[peer]),
+                        timeout=2.0)
+                except (OSError, asyncio.TimeoutError, ControlError):
+                    await asyncio.sleep(backoff)
+                    backoff = min(backoff * 2.0, RECONNECT_BACKOFF_CAP)
+                    continue
+                self.transport.reconnects += 1
+                return
+        finally:
+            self._redial_tasks.pop(peer, None)
+
     # -- the protocol stack (mirrors the sim harness wiring) ------------
 
     def _build_node(self) -> Node:
@@ -140,14 +221,23 @@ class NodeProcess:
             for i in range(self.num_nodes)
         ]
         genesis_seed = H(b"genesis", encode(self.seed))
-        initial_balances = {kp.public: cfg["initial_balance"]
-                            for kp in self.keypairs}
+        balances = cfg.get("balances")
+        if balances is not None:
+            initial_balances = {kp.public: int(balances[i])
+                                for i, kp in enumerate(self.keypairs)}
+        else:
+            initial_balances = {kp.public: cfg["initial_balance"]
+                                for kp in self.keypairs}
         chain = Blockchain(initial_balances, genesis_seed,
                            self.params.seed_refresh_interval)
         self.bus = TraceBus()
         self.bus.bind_clock(lambda: self.clock.now)
         self.transport.obs = self.bus
-        self.sink = JsonlTraceSink(cfg["trace"])
+        # durable + line-buffered: a SIGKILL mid-run loses at most the
+        # line being written, so the chaos coordinator can read a
+        # victim's trace back after the kill.
+        self.sink = JsonlTraceSink(cfg["trace"], buffer_lines=1,
+                                   durable=True)
         self.bus.add_sink(self.sink)
         self.monitor = ConformanceMonitor(registry=self.bus.metrics)
         self.bus.add_sink(self.monitor)
@@ -175,6 +265,18 @@ class NodeProcess:
                              index_of=index_of)
         if cfg.get("relay_damping", True):
             attach_damping(node)
+        # Live catch-up: chainreq/chain handlers + the resync hook, and
+        # patience after a ConsensusHalted — answers take wall time.
+        self.chain_sync = LiveChainSync(
+            node, self.clock, self.transport,
+            check_interval=max(0.25, self.params.lambda_step / 2),
+            serve_cooldown=self.params.lambda_step,
+            request_cooldown=self.params.lambda_step,
+            # One whole worst-case round without a commit == stalled.
+            stall_after=(self.params.lambda_block
+                         + self.params.max_steps * self.params.lambda_step))
+        node.resync_patience = max(0.25, self.params.lambda_step / 2)
+        node.resync_retries = int(cfg.get("resync_retries", 60))
         return node
 
     def _submit_payments(self, node: Node, count: int) -> None:
@@ -183,7 +285,9 @@ class NodeProcess:
         Every process draws the identical RNG stream, so the schedule
         (sender k % n, seeded recipient draw, per-sender nonces) is the
         same everywhere — the live analogue of the sim harness's
-        ``submit_payments``.
+        ``submit_payments``. A rejoined process resubmits its share:
+        already-committed transactions die at assembly against state,
+        uncommitted ones get a second chance to gossip.
         """
         n = self.num_nodes
         rng = np.random.default_rng(self.seed)
@@ -207,6 +311,11 @@ class NodeProcess:
 
     async def run(self) -> None:
         cfg = self.cfg
+        if cfg.get("exit_at_start"):
+            # Test hook (fail-fast orchestration): die before hello.
+            print(f"node {self.index}: exit_at_start requested",
+                  file=sys.stderr, flush=True)
+            raise SystemExit(17)
         timeout = cfg.get("connect_timeout", 30.0)
         address = await self._listen()
         if cfg["transport"] == "uds":
@@ -219,33 +328,81 @@ class NodeProcess:
         await send_message(writer, {"type": "hello", "index": self.index,
                                     "address": address})
         peers = await control.expect("peers", timeout=timeout)
-        for peer_key, peer_address in peers["addresses"].items():
-            peer = int(peer_key)
-            if peer < self.index:
-                await self._dial_peer(peer, peer_address)
-        if self.num_nodes > 1:
+        self._peer_addresses = {
+            int(peer_key): peer_address
+            for peer_key, peer_address in peers["addresses"].items()
+            if int(peer_key) != self.index}
+        neighbor_map = peers.get("neighbors") or {}
+        self._neighbors = set(
+            neighbor_map.get(str(self.index),
+                             sorted(self._peer_addresses)))
+        for peer in sorted(self._neighbors):
+            if peer >= self.index:
+                continue
+            if self.rejoin:
+                # Peers may themselves be mid-recovery: retry with
+                # backoff instead of failing the whole rejoin.
+                self._ensure_redial(peer)
+            else:
+                await self._dial_peer(peer, self._peer_addresses[peer])
+        if self.num_nodes > 1 and not self.rejoin:
             await asyncio.wait_for(self._links_complete.wait(),
                                    timeout=timeout)
         node = self._build_node()
+        self.fault_plane = LiveFaultPlane(
+            self.index, self.num_nodes, self.clock, self.transport,
+            self.seed)
+        self.fault_plane.on_release = self._ensure_redial
         await send_message(writer, {"type": "ready", "index": self.index})
         start = await control.expect("start", timeout=timeout)
         rounds: int = start["rounds"]
-        if start["payments"]:
-            self._submit_payments(node, start["payments"])
-        process = node.start(rounds)
         per_round = (self.params.lambda_block
                      + self.params.lambda_step * self.params.max_steps)
         deadline = start.get("deadline") or per_round * (rounds + 1)
+        self.fault_plane.install(
+            FaultAction.from_dict(record)
+            for record in start.get("faults", ()))
+        if self.rejoin:
+            # Seed only the local conformance machine with the crash it
+            # cannot have witnessed (the coordinator synthesizes the
+            # real node_crashed into the merged trace at kill time);
+            # without this, node_restarted from IDLE would be flagged.
+            self.monitor.write_event({
+                "kind": "node_crashed", "node": self.index,
+                "round": node.chain.next_round, "t": self.clock.now})
+            node.obs.emit("node_restarted", node=self.index,
+                          round=node.chain.next_round)
+            # Ask the network for the history we missed and give the
+            # answer a moment to land before burning protocol timeouts
+            # re-running an ancient round. The request repeats while we
+            # wait: the first broadcast can race the redial tasks and
+            # go out over zero established links.
+            wait_until = self.clock.now + 6 * self.params.lambda_step
+
+            def nag() -> None:
+                if (self.chain_sync.pending is None
+                        and self.clock.now < wait_until):
+                    self.chain_sync.request()
+                    self.clock.schedule(self.params.lambda_step, nag)
+
+            nag()
+            await self.clock.run_async(
+                stop_when=lambda: (self.chain_sync.pending is not None
+                                   or self.clock.now >= wait_until),
+                deadline=deadline)
+        if start["payments"]:
+            self._submit_payments(node, start["payments"])
+        process = node.start(rounds)
         await self.clock.run_async(stop_when=lambda: process.done,
                                    deadline=deadline)
         chain = node.chain
         blocks = [encode_block(chain.block_at(r))
                   for r in range(1, chain.height + 1)]
         verdict = self.monitor.verdict()
-        self.bus.close()
         await send_message(writer, {
             "type": "result",
             "index": self.index,
+            "incarnation": int(cfg.get("incarnation", 0)),
             "height": chain.height,
             "tip": chain.tip_hash,
             "blocks": blocks,
@@ -258,6 +415,34 @@ class NodeProcess:
             "stats": {key: int(value) for key, value
                       in self.transport.stats().items()},
         })
+        # Linger: keep the clock pumping — and with it gossip dispatch
+        # and chain serving — until the coordinator's ``stop`` releases
+        # us. Without this, fast finishers exit the instant they reach
+        # target height and a chaos victim rejoining later finds nobody
+        # left to answer its catch-up requests.
+        release = asyncio.Event()
+
+        async def await_release() -> None:
+            try:
+                while True:
+                    message = await control.next()
+                    if message.get("type") == "stop":
+                        break
+            except ControlError:
+                pass  # coordinator gone == released
+            release.set()
+            self.clock.kick()
+
+        release_task = asyncio.create_task(await_release())
+        try:
+            await self.clock.run_async(stop_when=release.is_set,
+                                       deadline=deadline + 60.0)
+        except TimeoutError:
+            pass  # orphaned well past the run budget: just exit
+        release_task.cancel()
+        self.bus.close()
+        for task in list(self._redial_tasks.values()):
+            task.cancel()
         await self.transport.close()
         if self._server is not None:
             self._server.close()

@@ -16,10 +16,26 @@ dispatch through ``relay_policy``. Two live-only concerns are added:
   zero, so locally-originated envelopes are re-stamped with an
   index-namespaced id (``(index << 40) | local_seq``) at broadcast;
   relayed envelopes keep their origin's id (that is what dedup keys on).
+  The sequence space is further partitioned by process *incarnation*,
+  so a respawned node never reuses ids its previous life already
+  burned into peers' dedup sets.
 * **Bounded, budgeted ingestion** — socket readers append to a bounded
   receive queue and schedule a drain on the clock; each drain processes
   at most ``drain_budget`` envelopes before rescheduling itself, so one
   chatty peer cannot starve protocol timers.
+
+Two robustness hooks ride on the link layer (both optional, both
+``None`` in a clean run):
+
+* **Fault plane** — :class:`repro.live.faults.LiveFaultPlane` assigned
+  into :attr:`LiveTransport.fault_plane` injects scripted per-link
+  effects: severed peers (partitions/DoS) are refused inbound and
+  skipped outbound, lossy links drop frames probabilistically at send
+  time, delayed links stall the writer queue's flush.
+* **Link-down notification** — when a link's reader or writer dies
+  (peer crashed, connection reset), :attr:`LiveTransport.on_link_down`
+  fires once with the peer index so the owner can schedule a reconnect
+  with capped exponential backoff.
 """
 
 from __future__ import annotations
@@ -57,6 +73,7 @@ class PeerLink:
         self.writer = writer
         self.decoder = FrameDecoder()
         self.closed = False
+        self._down_notified = False
         self._tasks: list[asyncio.Task] = []
         #: Per-peer outbound queue: broadcast never blocks on a slow
         #: peer; its writer task drains the queue at the socket's pace.
@@ -80,12 +97,22 @@ class PeerLink:
                 frame = await self._outbound.get()
                 if frame is None:
                     break
+                plane = self.transport.fault_plane
+                if plane is not None:
+                    delay = plane.outbound_delay(self.peer)
+                    if delay > 0.0:
+                        # Delayed flush: the whole queue behind this
+                        # frame stalls too (head-of-line), which is what
+                        # a congested real link does.
+                        plane.delayed_frames += 1
+                        await asyncio.sleep(delay)
                 self.writer.write(frame)
                 await self.writer.drain()
         except (ConnectionError, asyncio.CancelledError):
             pass
         finally:
             self.closed = True
+            self.transport._link_lost(self)
 
     async def _read_loop(self) -> None:
         try:
@@ -103,6 +130,7 @@ class PeerLink:
             self.transport.garbage_streams += 1
         finally:
             self.closed = True
+            self.transport._link_lost(self)
 
     async def close(self) -> None:
         self.closed = True
@@ -131,7 +159,7 @@ class LiveTransport:
 
     def __init__(self, index: int, clock: LiveClock, *,
                  drain_budget: int = 128, rx_queue_limit: int = 4096,
-                 obs=None) -> None:
+                 incarnation: int = 0, obs=None) -> None:
         self.index = index
         self.clock = clock
         self.obs = obs
@@ -153,17 +181,85 @@ class LiveTransport:
         self.rx_dropped = 0
         self.garbage_frames = 0
         self.garbage_streams = 0
+        #: Optional :class:`repro.live.faults.LiveFaultPlane` injecting
+        #: scripted partition/loss/delay effects on this node's links.
+        self.fault_plane = None
+        #: Optional :class:`repro.live.catchup.LiveChainSync`, referenced
+        #: only so :meth:`stats` can report its counters.
+        self.chain_sync = None
+        #: Callback fired (once per link) when a link's reader or writer
+        #: dies and the peer is neither severed nor the whole transport
+        #: closing — the owner decides whether to redial.
+        self.on_link_down: Callable[[int], None] | None = None
+        #: Peers currently refused by the fault plane (partition/DoS):
+        #: no sends, inbound dropped, reconnects rejected.
+        self.severed: set[int] = set()
+        #: Dial attempts and successes after a lost link (the owner's
+        #: backoff loop increments these; counted here so they travel
+        #: with the rest of the transport stats).
+        self.reconnect_attempts = 0
+        self.reconnects = 0
         self._links: dict[int, PeerLink] = {}
         self._seen: set[int] = set()
         self._rx: deque[tuple[int, Envelope, bytes]] = deque()
         self._drain_scheduled = False
-        self._local_seq = 0
+        # A respawned process must not reuse its predecessor's msg_ids —
+        # peers hold them in their dedup sets and would silently drop
+        # the newcomer's first envelopes (including its catch-up
+        # requests). Partition the 40-bit sequence space by incarnation:
+        # 2**8 lives of 2**32 messages each.
+        self._local_seq = int(incarnation) << 32
 
     # -- link management ------------------------------------------------
 
+    @staticmethod
+    def _close_soon(link: PeerLink) -> None:
+        """Schedule an async link close; drop it when no loop runs.
+
+        Outside a running event loop (unit tests poking the transport
+        synchronously) there is nothing to await the close — abandoning
+        it is fine, no socket exists there.
+        """
+        coro = link.close()
+        try:
+            asyncio.ensure_future(coro)
+        except RuntimeError:
+            coro.close()
+
     def add_link(self, link: PeerLink) -> None:
+        if link.peer in self.severed:
+            # A peer the fault plane severed cannot slip back in through
+            # a fresh handshake; callers check first, this is the net.
+            self._close_soon(link)
+            return
+        stale = self._links.get(link.peer)
+        if stale is not None and stale is not link:
+            # Reconnect replaced a dead (or half-dead) link: retire the
+            # old tasks so their teardown cannot clobber the new link.
+            self._close_soon(stale)
         self._links[link.peer] = link
         self.neighbors = sorted(self._links)
+
+    def _link_lost(self, link: PeerLink) -> None:
+        if link._down_notified:
+            return
+        link._down_notified = True
+        if (self._links.get(link.peer) is link and not self.disconnected
+                and link.peer not in self.severed
+                and self.on_link_down is not None):
+            self.on_link_down(link.peer)
+
+    def sever_peer(self, peer: int) -> None:
+        """Fault plane: cut ``peer`` off — close, refuse, stay silent."""
+        self.severed.add(peer)
+        link = self._links.pop(peer, None)
+        self.neighbors = sorted(self._links)
+        if link is not None:
+            self._close_soon(link)
+
+    def release_peer(self, peer: int) -> None:
+        """Fault plane: lift a sever; the owner may now reconnect."""
+        self.severed.discard(peer)
 
     @property
     def links(self) -> dict[int, PeerLink]:
@@ -191,8 +287,18 @@ class LiveTransport:
     def _send_frames(self, frame: bytes, envelope: Envelope,
                      exclude: int | None) -> None:
         metrics = self.obs.metrics if self.obs is not None else None
-        for peer, link in self._links.items():
-            if peer == exclude or link.closed:
+        plane = self.fault_plane
+        if plane is not None:
+            # Frames this node would have sent over links the fault
+            # plane severed: counted so a partition window shows up in
+            # the fault-drop stats even though the link itself is gone.
+            for peer in self.severed:
+                if peer != exclude:
+                    plane.dropped_frames += 1
+        for peer, link in list(self._links.items()):
+            if peer == exclude or link.closed or peer in self.severed:
+                continue
+            if plane is not None and plane.outbound_drop(peer):
                 continue
             link.send(frame)
             self.bytes_sent += envelope.size
@@ -212,6 +318,11 @@ class LiveTransport:
         protocol code only ever sees envelopes from :meth:`_drain`,
         which the clock fires like any other event.
         """
+        if peer in self.severed:
+            plane = self.fault_plane
+            if plane is not None:
+                plane.dropped_frames += 1
+            return
         try:
             envelope = decode_envelope(payload)
         except WireError:
@@ -274,6 +385,8 @@ class LiveTransport:
         bounded by the run length instead (cleared with the process)."""
 
     def stats(self) -> dict:
+        plane = self.fault_plane
+        sync = self.chain_sync
         return {
             "bytes_sent": self.bytes_sent,
             "messages_sent": self.messages_sent,
@@ -283,4 +396,14 @@ class LiveTransport:
             "garbage_streams": self.garbage_streams,
             "inbox_depth": len(self.inbox),
             "links": len(self._links),
+            "reconnect_attempts": self.reconnect_attempts,
+            "reconnects": self.reconnects,
+            "fault_dropped_frames": (plane.dropped_frames
+                                     if plane is not None else 0),
+            "fault_delayed_frames": (plane.delayed_frames
+                                     if plane is not None else 0),
+            "catchup_served": sync.served if sync is not None else 0,
+            "catchup_adopted": sync.adopted if sync is not None else 0,
+            "catchup_requests": (sync.requests_sent
+                                 if sync is not None else 0),
         }

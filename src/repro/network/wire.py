@@ -40,6 +40,16 @@ class WireError(ReproError):
     """A wire payload could not be decoded."""
 
 
+class FrameSizeError(WireError):
+    """A frame length prefix is zero or beyond the size cap.
+
+    A stream that produced one is desynced or hostile: there is no
+    recoverable frame boundary, so the connection must be dropped. The
+    dedicated type lets transports distinguish "drop this connection"
+    from ordinary payload-decode garbage inside a well-formed frame.
+    """
+
+
 def _expect(data: Any, tag: str) -> list:
     if not isinstance(data, list) or not data or data[0] != tag:
         raise WireError(f"expected {tag!r} payload")
@@ -155,6 +165,51 @@ def decode_certificate(data: bytes) -> Certificate:
         raise WireError(f"bad certificate payload: {exc}") from exc
 
 
+# --- Chain sync (catch-up request / announcement) ---------------------------
+
+def encode_chain_request(request: "ChainRequest") -> bytes:
+    return encode(["wchainreq", request.height])
+
+
+def decode_chain_request(data: bytes) -> "ChainRequest":
+    from repro.node.catchup import ChainRequest
+
+    try:
+        fields = _expect(decode(data), "wchainreq")
+        _, height = fields
+        if not isinstance(height, int) or height < 0:
+            raise WireError("chain request height must be a non-negative "
+                            "integer")
+        return ChainRequest(height=height)
+    except (ValueError, TypeError) as exc:
+        raise WireError(f"bad chain request payload: {exc}") from exc
+
+
+def encode_chain_announcement(announcement: "ChainAnnouncement") -> bytes:
+    return encode([
+        "wchain",
+        [encode_block(block) for block in announcement.blocks],
+        [[round_number, encode_certificate(certificate)]
+         for round_number, certificate
+         in sorted(announcement.certificates.items())],
+    ])
+
+
+def decode_chain_announcement(data: bytes) -> "ChainAnnouncement":
+    from repro.node.catchup import ChainAnnouncement
+
+    try:
+        fields = _expect(decode(data), "wchain")
+        _, raw_blocks, raw_certs = fields
+        return ChainAnnouncement(
+            blocks=tuple(decode_block(raw) for raw in raw_blocks),
+            certificates={round_number: decode_certificate(raw)
+                          for round_number, raw in raw_certs},
+        )
+    except (ValueError, TypeError) as exc:
+        raise WireError(f"bad chain announcement payload: {exc}") from exc
+
+
 def wire_size(obj: Transaction | VoteMessage | PriorityMessage | Block
               | Certificate) -> int:
     """Exact encoded size of any protocol message."""
@@ -182,6 +237,8 @@ ENVELOPE_CODECS: dict[str, tuple] = {
     "priority": (encode_priority, decode_priority),
     "block": (encode_block, decode_block),
     "cert": (encode_certificate, decode_certificate),
+    "chain": (encode_chain_announcement, decode_chain_announcement),
+    "chainreq": (encode_chain_request, decode_chain_request),
 }
 
 
@@ -239,9 +296,9 @@ def encode_frame(payload: bytes,
                  max_bytes: int = MAX_FRAME_BYTES) -> bytes:
     """Length-prefix ``payload`` for transmission over a byte stream."""
     if not payload:
-        raise WireError("cannot frame an empty payload")
+        raise FrameSizeError("cannot frame an empty payload")
     if len(payload) > max_bytes:
-        raise WireError(
+        raise FrameSizeError(
             f"frame payload of {len(payload)} bytes exceeds the "
             f"{max_bytes}-byte limit")
     return FRAME_HEADER.pack(len(payload)) + payload
@@ -253,8 +310,11 @@ class FrameDecoder:
     Feed raw stream bytes as they arrive (split or coalesced however the
     transport pleases); :meth:`feed` returns every complete payload the
     new bytes finished. A length prefix of zero or beyond ``max_bytes``
-    raises :class:`WireError` — a desynced or malicious stream is
-    unrecoverable, so the connection must be dropped, not resynced.
+    raises :class:`FrameSizeError` — a desynced or malicious stream is
+    unrecoverable, so the connection must be dropped, not resynced. The
+    decoder never buffers more than one header plus ``max_bytes`` of an
+    incomplete frame, so a garbage length prefix cannot make it hoard
+    memory.
     """
 
     __slots__ = ("max_bytes", "_buffer", "frames_decoded", "bytes_fed")
@@ -281,9 +341,9 @@ class FrameDecoder:
         while len(self._buffer) >= header:
             (length,) = FRAME_HEADER.unpack_from(self._buffer)
             if length == 0:
-                raise WireError("zero-length frame")
+                raise FrameSizeError("zero-length frame")
             if length > self.max_bytes:
-                raise WireError(
+                raise FrameSizeError(
                     f"frame length {length} exceeds the "
                     f"{self.max_bytes}-byte limit (desynced or garbage "
                     f"stream)")

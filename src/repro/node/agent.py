@@ -38,7 +38,8 @@ from repro.baplus.voting import (
     count_votes,
     interrupt_open_steps,
 )
-from repro.common.errors import ConsensusHalted, InvalidBlock, SimulationError
+from repro.common.errors import (ConsensusHalted, InvalidBlock, LedgerError,
+                                 SimulationError)
 from repro.common.params import ProtocolParams
 from repro.crypto.backend import CryptoBackend, KeyPair
 from repro.ledger.block import Block, empty_block, empty_block_hash, validate_block
@@ -97,6 +98,15 @@ class Node:
         #: e.g. by :func:`repro.node.catchup.resync_from_peers`), or
         #: ``None`` to keep the current chain.
         self.resync: Callable[[], Blockchain | None] | None = None
+        #: Live-mode patience: after a ConsensusHalted, poll the
+        #: :attr:`resync` hook every ``resync_patience`` seconds up to
+        #: ``resync_retries`` times before halting for good. A killed or
+        #: partitioned process asks the network for history and the
+        #: answer takes real wall-clock time to arrive; the sim's
+        #: defaults (``None``/``0``) keep its immediate-halt behavior
+        #: bit-for-bit.
+        self.resync_patience: float | None = None
+        self.resync_retries: int = 0
         #: Optional :class:`repro.obs.TraceBus`; ``None`` keeps every
         #: instrumentation site at a single attribute check.
         self.obs = obs
@@ -382,10 +392,31 @@ class Node:
                 # 8.3 answer before giving up for good.
                 if self._try_resync():
                     continue
+                recovered = yield from self._resync_wait()
+                if recovered:
+                    continue
                 self.halted = True
                 if self.obs is not None:
                     self.obs.emit("consensus_halted", node=self.index,
                                   round=self.chain.next_round)
+
+    def _resync_wait(self):
+        """Poll the resync hook with patience; True once a chain adopts.
+
+        Between retries the node stays silent (the reference machine
+        remains in BA, where ``catchup_adopted`` is legal after a
+        ConsensusHalted closed every step), so a successful late answer
+        resumes the loop without ever declaring the halt.
+        """
+        if self.resync_patience is None:
+            return False
+        for _ in range(self.resync_retries):
+            yield self.env.timeout(self.resync_patience)
+            if self.halted or self.crashed:
+                return False
+            if self._try_resync():
+                return True
+        return False
 
     def _try_resync(self) -> bool:
         """Adopt a strictly longer validated chain from the resync hook."""
@@ -462,7 +493,20 @@ class Node:
                     and final_vote == binary.value else TENTATIVE)
         end = self.env.now
 
-        block = self._resolve_block(round_number, ctx, binary.value, tracker)
+        try:
+            block = self._resolve_block(round_number, ctx, binary.value,
+                                        tracker)
+        except LedgerError as exc:
+            # Consensus concluded on a block whose body never reached us
+            # — possible when this node joined the round mid-flight (a
+            # chaos respawn, a healed partition) and the proposal was
+            # gossiped before its links came up. The network holds the
+            # block and its certificate, so recovering it over catch-up
+            # (section 8.3) is the same answer as a halted round.
+            raise ConsensusHalted(
+                f"round {round_number} decided block "
+                f"{binary.value.hex()[:16]} but its body never arrived"
+            ) from exc
         certificate = build_certificate(
             self.buffer, ctx, self.backend, self.params, round_number,
             str(binary.deciding_step), binary.value,

@@ -135,6 +135,36 @@ class ChainAnnouncement:
         return 200 + sum(block.size for block in self.blocks)
 
 
+@dataclass(frozen=True)
+class ChainRequest:
+    """A lagging peer's plea: anyone strictly ahead of ``height``, announce.
+
+    The request/response half of live catch-up: a node that detects it
+    has fallen behind (buffered future-round votes, a healed partition,
+    a fresh rejoin) floods a ``"chainreq"``; any peer whose chain is
+    longer answers with a ``"chain"`` announcement. Requests relay, so
+    they reach helpers beyond the requester's direct neighbors on a
+    partial mesh.
+    """
+
+    height: int
+
+    @property
+    def size(self) -> int:
+        return 64  # fixed header-sized control message
+
+
+def build_announcement(chain: Blockchain) -> ChainAnnouncement:
+    """Extract a :class:`ChainAnnouncement` from a replica's own chain."""
+    certificates: dict[int, Certificate] = {}
+    for block in chain.blocks[1:]:
+        certificate = chain.certificate_at(block.round_number)
+        if isinstance(certificate, Certificate):
+            certificates[block.round_number] = certificate
+    return ChainAnnouncement(blocks=chain.blocks[1:],
+                             certificates=certificates)
+
+
 class ChainSync:
     """Gossip-driven catch-up: section 8.3 as a routed message handler.
 
@@ -155,14 +185,7 @@ class ChainSync:
 
     def announce(self) -> None:
         """Broadcast this node's chain for lagging peers to replay."""
-        chain = self.node.chain
-        certificates: dict[int, Certificate] = {}
-        for block in chain.blocks[1:]:
-            certificate = chain.certificate_at(block.round_number)
-            if isinstance(certificate, Certificate):
-                certificates[block.round_number] = certificate
-        announcement = ChainAnnouncement(blocks=chain.blocks[1:],
-                                         certificates=certificates)
+        announcement = build_announcement(self.node.chain)
         self.node.interface.broadcast(Envelope(
             origin=self.node.keypair.public, kind="chain",
             payload=announcement, size=announcement.size,

@@ -42,7 +42,8 @@ class JsonlTraceSink:
     """
 
     def __init__(self, path: str | Path, *, buffer_lines: int = 1024,
-                 max_records: int | None = None) -> None:
+                 max_records: int | None = None,
+                 durable: bool = False) -> None:
         if buffer_lines < 1:
             raise ValueError("buffer_lines must be >= 1")
         if max_records is not None and max_records < 0:
@@ -50,6 +51,12 @@ class JsonlTraceSink:
         self.path = Path(path)
         self.buffer_lines = buffer_lines
         self.max_records = max_records
+        #: Push every flush through to the OS (``file.flush()``). Live
+        #: node processes set this (with ``buffer_lines=1``) so a
+        #: SIGKILL mid-run loses at most the line being written — the
+        #: chaos coordinator reads the victim's trace back after the
+        #: kill. The sim default keeps the cheap buffered writes.
+        self.durable = durable
         self._buffer: list[str] = []
         self._file: IO[str] | None = self.path.open("w", encoding="utf-8")
         #: Total records written (events + snapshot).
@@ -81,6 +88,8 @@ class JsonlTraceSink:
         if self._buffer and self._file is not None:
             self._file.write("\n".join(self._buffer) + "\n")
             self._buffer.clear()
+            if self.durable:
+                self._file.flush()
 
     def close(self) -> None:
         if self._file is not None:
@@ -89,28 +98,37 @@ class JsonlTraceSink:
             self._file = None
 
 
-def read_trace(path: str | Path) -> tuple[list[dict], dict | None]:
+def read_trace(path: str | Path, *,
+               tolerate_truncation: bool = False
+               ) -> tuple[list[dict], dict | None]:
     """Load a JSONL trace: ``(events, snapshot_metrics_or_None)``.
 
     Unknown record types are ignored (forward compatibility: a newer
     writer may add record types an older reader doesn't know).
+    ``tolerate_truncation`` forgives an invalid **final** line — a
+    SIGKILLed live node can die mid-write, leaving half a record; every
+    complete line before it is still good evidence. Garbage anywhere
+    else still raises.
     """
     events: list[dict] = []
     snapshot: dict | None = None
     with Path(path).open("r", encoding="utf-8") as handle:
-        for line_number, line in enumerate(handle, start=1):
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                record = json.loads(line)
-            except json.JSONDecodeError as exc:
-                raise ValueError(
-                    f"{path}:{line_number}: invalid JSON ({exc})") from exc
-            kind = record.get("type")
-            if kind == "event":
-                record.pop("type")
-                events.append(record)
-            elif kind == "snapshot":
-                snapshot = record.get("metrics")
+        lines = handle.readlines()
+    for line_number, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            if tolerate_truncation and line_number == len(lines):
+                break
+            raise ValueError(
+                f"{path}:{line_number}: invalid JSON ({exc})") from exc
+        kind = record.get("type")
+        if kind == "event":
+            record.pop("type")
+            events.append(record)
+        elif kind == "snapshot":
+            snapshot = record.get("metrics")
     return events, snapshot

@@ -34,6 +34,7 @@ from repro.network.wire import (
     FRAME_HEADER,
     MAX_FRAME_BYTES,
     FrameDecoder,
+    FrameSizeError,
     WireError,
     decode_envelope,
     encode_envelope,
@@ -142,6 +143,67 @@ class TestFrameCodec:
         assert out == payloads
         assert decoder.buffered == 0
         assert decoder.bytes_fed == len(blob)
+
+
+class TestFrameRobustnessFuzz:
+    """Adversarial streams: truncated, oversized, and byte-flipped.
+
+    The live transport drops a connection on :class:`FrameSizeError`;
+    these properties pin that a hostile or corrupted stream either
+    produces that loud typed error or degrades to frames whose byte
+    accounting still adds up — never a silent desync or an unbounded
+    buffer.
+    """
+
+    @settings(max_examples=100, deadline=None)
+    @given(payloads=st.lists(st.binary(min_size=1, max_size=64),
+                             min_size=1, max_size=5),
+           cut=st.integers(min_value=0, max_value=2**30))
+    def test_truncation_yields_only_complete_frames(self, payloads, cut):
+        """A stream cut anywhere yields a prefix; the rest completes it."""
+        stream = b"".join(encode_frame(p) for p in payloads)
+        cut = cut % len(stream)
+        decoder = FrameDecoder()
+        head = decoder.feed(stream[:cut])
+        assert head == payloads[:len(head)]
+        assert decoder.buffered <= FRAME_HEADER.size + 64
+        assert head + decoder.feed(stream[cut:]) == payloads
+        assert decoder.buffered == 0
+
+    @settings(max_examples=100, deadline=None)
+    @given(length=st.integers(min_value=MAX_FRAME_BYTES + 1,
+                              max_value=2**32 - 1))
+    def test_oversized_prefix_raises_typed_error(self, length):
+        """Any over-cap length prefix fails fast with FrameSizeError."""
+        decoder = FrameDecoder()
+        with pytest.raises(FrameSizeError):
+            decoder.feed(FRAME_HEADER.pack(length))
+        assert decoder.frames_decoded == 0
+
+    @settings(max_examples=200, deadline=None)
+    @given(payloads=st.lists(st.binary(min_size=1, max_size=64),
+                             min_size=1, max_size=4),
+           flip=st.integers(min_value=0, max_value=2**30),
+           bit=st.integers(min_value=0, max_value=7))
+    def test_byte_flip_is_loud_or_conservative(self, payloads, flip, bit):
+        """One flipped bit anywhere: loud typed error, or sound framing.
+
+        Flipping a length-prefix bit may forge a zero/huge length
+        (FrameSizeError) or silently re-carve the stream into different
+        frames; in the silent case every returned frame must still have
+        been cut whole from the stream and the residue bounded by one
+        incomplete frame.
+        """
+        stream = bytearray(b"".join(encode_frame(p) for p in payloads))
+        stream[flip % len(stream)] ^= 1 << bit
+        decoder = FrameDecoder(max_bytes=4096)
+        try:
+            frames = decoder.feed(bytes(stream))
+        except FrameSizeError:
+            return
+        consumed = sum(FRAME_HEADER.size + len(f) for f in frames)
+        assert consumed + decoder.buffered == len(stream)
+        assert decoder.buffered <= FRAME_HEADER.size + decoder.max_bytes
 
 
 class TestEnvelopeCodec:

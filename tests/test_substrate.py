@@ -52,6 +52,9 @@ class _FakeLink:
     def send(self, frame: bytes) -> None:
         self.frames.append(frame)
 
+    async def close(self) -> None:
+        self.closed = True
+
 
 class TestProtocolConformance:
     def test_sim_objects_satisfy_the_protocols(self):
